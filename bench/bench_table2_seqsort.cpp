@@ -1,0 +1,96 @@
+// Reproduces Table 2 of the paper: the sequential external sort (polyphase
+// merge sort) run per node to fill the perf array.  Four nodes — helmvige
+// and grimgerde unloaded, siegrune and rossweisse loaded 4x — each sort
+// 2^21 … 2^25 uniform integers; the table reports mean execution time and
+// deviation, and the closing step converts the ratios into the perf vector
+// {4,4,1,1} exactly as §5 describes.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "hetero/calibration.h"
+#include "metrics/table.h"
+#include "net/cluster.h"
+#include "pdm/typed_io.h"
+#include "seq/external_sort.h"
+#include "workload/generators.h"
+
+namespace paladin::bench {
+namespace {
+
+int run(const BenchOptions& opt) {
+  heading("Table 2: external sorting per node (polyphase merge sort)");
+  note(opt.full ? "paper-scale sizes 2^21..2^25"
+                : "scaled sizes 2^17..2^21 (run with --full for paper scale)");
+
+  const char* node_names[] = {"helmvige", "grimgerde", "siegrune",
+                              "rossweisse"};
+  // Paper values (seconds) for comparison, per node, sizes 2^21..2^25.
+  const double paper_fast[] = {22.92, 51.18, 111.41, 235.74, 492.02};
+  const double paper_slow[] = {95.40, 204.66, 428.42, 951.23, 1998.72};
+
+  net::ClusterConfig config = paper_cluster(opt);
+
+  seq::ExternalSortConfig sort_config;
+  sort_config.memory_records = scaled_memory(opt);
+  sort_config.tape_count = 15;
+  sort_config.allow_in_memory = false;
+
+  metrics::TextTable table({"node", "perf", "input size", "exe time (s)",
+                            "deviation", "paper (s)"});
+
+  std::vector<double> last_row_seconds(4, 0.0);
+  for (u32 log2n = 21; log2n <= 25; ++log2n) {
+    const u64 n = scaled_pow2(opt, log2n);
+    std::vector<RunningStats> stats(4);
+    for (u32 rep = 0; rep < opt.reps; ++rep) {
+      net::ClusterConfig rep_config = config;
+      rep_config.seed = 9000 + rep;
+      net::Cluster cluster(rep_config);
+      auto outcome = cluster.run([&](net::NodeContext& ctx) -> double {
+        workload::WorkloadSpec spec;
+        spec.dist = workload::Dist::kUniform;
+        spec.total_records = n;
+        spec.node_count = 1;
+        spec.seed = rep_config.seed + ctx.rank();
+        workload::write_share(spec, 0, 0, n, ctx.disk(), "t2.in");
+        const double before = ctx.clock().now();
+        seq::external_sort<DefaultKey>(ctx.disk(), "t2.in", "t2.out",
+                                       sort_config, ctx);
+        ctx.disk().remove("t2.in");
+        ctx.disk().remove("t2.out");
+        return ctx.clock().now() - before;
+      });
+      for (u32 i = 0; i < 4; ++i) stats[i].add(outcome.results[i]);
+    }
+    for (u32 i = 0; i < 4; ++i) {
+      const double paper =
+          (config.perf[i] == 4 ? paper_fast : paper_slow)[log2n - 21];
+      table.add_row({node_names[i], std::to_string(config.perf[i]),
+                     std::to_string(n), fmt_seconds(stats[i].mean()),
+                     fmt_seconds(stats[i].stddev()),
+                     opt.full ? fmt_seconds(paper) : fmt_seconds(paper) + "*"});
+      last_row_seconds[i] = stats[i].mean();
+    }
+  }
+  table.print(std::cout);
+  if (!opt.full) {
+    note("* paper values are for the 16x larger --full sizes; compare "
+         "ratios, not absolutes");
+  }
+
+  // The paper's protocol: time ratios to the slowest fill the perf array.
+  const hetero::PerfVector derived = hetero::times_to_perf(last_row_seconds);
+  note("derived perf vector (ratios to slowest): " + derived.to_string() +
+       "   — paper concludes {4,4,1,1}");
+  note("fast/slow time ratio at the largest size: " +
+       metrics::TextTable::fmt(last_row_seconds[3] / last_row_seconds[0], 2) +
+       "   — paper: " + metrics::TextTable::fmt(1998.72 / 492.02, 2));
+  return 0;
+}
+
+}  // namespace
+}  // namespace paladin::bench
+
+int main(int argc, char** argv) {
+  return paladin::bench::run(paladin::bench::BenchOptions::parse(argc, argv));
+}

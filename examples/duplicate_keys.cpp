@@ -1,0 +1,99 @@
+// Scenario from the paper's §3.1: what duplicates do to the load-balance
+// guarantee.  Sorting a customer-order table by country code — a key with
+// massive multiplicities — on the heterogeneous testbed.  The bound grows
+// from 2·l_i to 2·l_i + d (d = the largest multiplicity); this example
+// makes the effect visible and shows the mitigation the PSRS literature
+// recommends (extend the key with a disambiguating suffix).
+//
+//   build/examples/duplicate_keys
+#include <iomanip>
+#include <iostream>
+
+#include "core/ext_psrs.h"
+#include "core/verify.h"
+#include "hetero/perf_vector.h"
+#include "metrics/expansion.h"
+#include "net/cluster.h"
+#include "pdm/typed_io.h"
+
+using namespace paladin;
+
+namespace {
+
+/// 40% of orders come from country 840, the rest spread over ~200 codes.
+u32 country_of(Xoshiro256& rng) {
+  return rng.next_below(100) < 40
+             ? 840u
+             : static_cast<u32>(rng.next_below(200) * 4 + 4);
+}
+
+struct Totals {
+  std::vector<u64> finals;
+  double expansion;
+};
+
+Totals sort_orders(const hetero::PerfVector& perf, u64 n, bool extend_key) {
+  net::ClusterConfig config;
+  config.perf.assign(perf.values().begin(), perf.values().end());
+  net::Cluster cluster(config);
+  auto outcome = cluster.run([&](net::NodeContext& ctx) -> u64 {
+    {
+      pdm::BlockFile f = ctx.disk().create("orders");
+      pdm::BlockWriter<u64> w(f);
+      for (u64 i = 0; i < perf.share(ctx.rank(), n); ++i) {
+        const u64 country = country_of(ctx.rng());
+        // Plain key: country only (duplicates pile up).  Extended key:
+        // country in the high bits, a unique-ish discriminator below — the
+        // classic fix that restores the 2x bound.
+        const u64 key = extend_key
+                            ? (country << 40) | ctx.rng().next_below(1u << 30)
+                            : country;
+        w.push(key);
+      }
+      w.flush();
+    }
+    core::ExtPsrsConfig psrs;
+    psrs.sequential.memory_records = 1 << 15;
+    psrs.sequential.allow_in_memory = false;
+    psrs.input = "orders";
+    const auto report = core::ext_psrs_sort<u64>(ctx, perf, psrs);
+    if (!core::verify_global_order<u64>(ctx, "sorted")) {
+      throw std::runtime_error("not sorted");
+    }
+    return report.final_records;
+  });
+  Totals t;
+  t.finals = outcome.results;
+  t.expansion =
+      metrics::sublist_expansion(std::span<const u64>(t.finals), perf);
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  hetero::PerfVector perf({4, 4, 1, 1});
+  const u64 n = perf.round_up_admissible(200'000);
+
+  std::cout << "sorting " << n << " orders by country code on perf "
+            << perf.to_string() << "\n\n";
+
+  const Totals plain = sort_orders(perf, n, /*extend_key=*/false);
+  std::cout << "plain key (40% of rows share one country):\n";
+  for (u32 i = 0; i < 4; ++i) {
+    std::cout << "  node " << i << ": " << std::setw(7) << plain.finals[i]
+              << " records (share " << perf.share(i, n) << ")\n";
+  }
+  std::cout << "  sublist expansion " << plain.expansion
+            << "  — the d-duplicate slack of the U+d bound in action\n\n";
+
+  const Totals fixed = sort_orders(perf, n, /*extend_key=*/true);
+  std::cout << "extended key (country | discriminator):\n";
+  for (u32 i = 0; i < 4; ++i) {
+    std::cout << "  node " << i << ": " << std::setw(7) << fixed.finals[i]
+              << " records (share " << perf.share(i, n) << ")\n";
+  }
+  std::cout << "  sublist expansion " << fixed.expansion
+            << "  — back within the PSRS guarantee\n";
+  return 0;
+}

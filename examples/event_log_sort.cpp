@@ -1,0 +1,102 @@
+// Domain scenario: merge-sorting a day of web-server event logs by
+// timestamp across a mixed-generation analytics cluster.  Demonstrates
+// that the whole stack is generic over trivially copyable record types
+// with custom comparators — here a 16-byte record sorted by (timestamp,
+// server) — not just the paper's 4-byte integers.
+//
+//   build/examples/event_log_sort
+#include <iostream>
+
+#include "core/ext_psrs.h"
+#include "core/verify.h"
+#include "hetero/perf_vector.h"
+#include "net/cluster.h"
+#include "pdm/typed_io.h"
+
+using namespace paladin;
+
+namespace {
+
+/// One access-log event.  Trivially copyable → PDM/network serialisable.
+struct Event {
+  u64 timestamp_us;
+  u32 server;
+  u32 status;
+};
+
+struct ByTime {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.timestamp_us != b.timestamp_us) {
+      return a.timestamp_us < b.timestamp_us;
+    }
+    return a.server < b.server;
+  }
+};
+
+/// Each node holds the (unordered) events its own frontends produced:
+/// bursty arrival times over one simulated day.
+void write_local_log(net::NodeContext& ctx, u64 count) {
+  pdm::BlockFile f = ctx.disk().create("events.raw");
+  pdm::BlockWriter<Event> w(f);
+  constexpr u64 kDay = 86'400ULL * 1'000'000;  // µs
+  u64 t = ctx.rng().next_below(kDay);
+  for (u64 i = 0; i < count; ++i) {
+    // Bursts: mostly small gaps, occasional big jumps, wrap at midnight.
+    const u64 gap = ctx.rng().next_below(100) < 97
+                        ? ctx.rng().next_below(2'000)
+                        : ctx.rng().next_below(50'000'000);
+    t = (t + gap) % kDay;
+    Event e;
+    e.timestamp_us = t;
+    e.server = ctx.rank() * 16 + static_cast<u32>(ctx.rng().next_below(16));
+    e.status = ctx.rng().next_below(100) < 92 ? 200u : 500u;
+    w.push(e);
+  }
+  w.flush();
+}
+
+}  // namespace
+
+int main() {
+  // Analytics cluster: two new nodes, one old one (speeds 3, 3, 1).
+  net::ClusterConfig config;
+  config.perf = {3, 3, 1};
+  hetero::PerfVector perf({3, 3, 1});
+
+  const u64 n = perf.round_up_admissible(350'000);
+
+  net::Cluster cluster(config);
+  auto outcome = cluster.run([&](net::NodeContext& ctx) -> u64 {
+    write_local_log(ctx, perf.share(ctx.rank(), n));
+
+    core::ExtPsrsConfig psrs;
+    psrs.sequential.memory_records = 1 << 14;  // events are 4x wider
+    psrs.sequential.allow_in_memory = false;
+    psrs.input = "events.raw";
+    psrs.output = "events.by_time";
+    const auto report = core::ext_psrs_sort<Event, ByTime>(ctx, perf, psrs);
+
+    if (!core::verify_global_order<Event, ByTime>(ctx, "events.by_time")) {
+      throw std::runtime_error("timeline is not globally ordered");
+    }
+
+    // A typical downstream pass: count 5xx bursts in my slice.
+    pdm::BlockFile f = ctx.disk().open("events.by_time");
+    pdm::BlockReader<Event> r(f);
+    Event e;
+    u64 errors = 0;
+    while (r.next(e)) errors += (e.status >= 500);
+    (void)report;
+    return errors;
+  });
+
+  std::cout << "ordered " << n << " events (" << n * sizeof(Event) / 1024
+            << " KiB) across " << config.node_count()
+            << " nodes in " << outcome.makespan << " simulated s\n";
+  u64 errors = 0;
+  for (u64 e : outcome.results) errors += e;
+  std::cout << "5xx events found by the scan: " << errors << "\n";
+  std::cout << "each node now holds one contiguous span of the global "
+               "timeline, sized to its speed\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Order-independent multiset fingerprints.  The external sorts shuffle
+// hundreds of megabytes through files and messages; after a run we verify
+// that the output is a *permutation* of the input without holding either in
+// memory, by comparing multiset checksums accumulated on the fly.
+#pragma once
+
+#include <span>
+
+#include "base/rng.h"
+#include "base/types.h"
+
+namespace paladin {
+
+/// Accumulates a commutative fingerprint of a multiset of records.  Two
+/// streams have equal fingerprints iff (with overwhelming probability) they
+/// contain the same records with the same multiplicities, regardless of
+/// order.  Combines an additive and a xor-of-mix component plus the count so
+/// that common tampering patterns (drop+duplicate, swap) are caught.
+class MultisetChecksum {
+ public:
+  template <Record T>
+  void add(const T& value) {
+    u64 h = hash_bytes(reinterpret_cast<const u8*>(&value), sizeof(T));
+    sum_ += h;
+    xorred_ ^= mix64(h);
+    ++count_;
+  }
+
+  template <Record T>
+  void add_span(std::span<const T> values) {
+    for (const T& v : values) add(v);
+  }
+
+  /// Merge another checksum (e.g. accumulated on another node).
+  void merge(const MultisetChecksum& other) {
+    sum_ += other.sum_;
+    xorred_ ^= other.xorred_;
+    count_ += other.count_;
+  }
+
+  bool operator==(const MultisetChecksum&) const = default;
+
+  u64 count() const { return count_; }
+  u64 digest() const { return mix64(sum_) ^ mix64(xorred_ + count_); }
+
+ private:
+  static u64 hash_bytes(const u8* p, std::size_t n) {
+    // FNV-1a 64 over the record bytes, then mixed.
+    u64 h = 0xcbf29ce484222325ULL;
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= p[i];
+      h *= 0x100000001b3ULL;
+    }
+    return mix64(h);
+  }
+
+  u64 sum_ = 0;
+  u64 xorred_ = 0;
+  u64 count_ = 0;
+};
+
+}  // namespace paladin

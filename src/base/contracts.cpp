@@ -1,0 +1,15 @@
+#include "base/contracts.h"
+
+#include <sstream>
+
+namespace paladin::detail {
+
+void contract_fail(const char* kind, const char* expr, const char* file,
+                   int line, const std::string& note) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!note.empty()) os << " — " << note;
+  throw ContractViolation(os.str());
+}
+
+}  // namespace paladin::detail

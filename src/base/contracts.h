@@ -1,0 +1,60 @@
+// Contract checking in the spirit of the C++ Core Guidelines (I.6, I.8):
+// preconditions and postconditions are stated in code and checked at run
+// time.  Violations throw ContractViolation so that both library users and
+// the test suite observe them as ordinary, catchable errors rather than
+// aborts.  The checks stay enabled in release builds: this library's costs
+// are dominated by I/O, and a silent out-of-contract call into an external
+// sort can destroy user data.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace paladin {
+
+/// Thrown when a PALADIN_EXPECTS / PALADIN_ENSURES / PALADIN_ASSERT check
+/// fails.  The message carries the failing expression and source location.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void contract_fail(const char* kind, const char* expr,
+                                const char* file, int line,
+                                const std::string& note);
+}  // namespace detail
+
+}  // namespace paladin
+
+/// Precondition: the caller must establish `cond` before calling.
+#define PALADIN_EXPECTS(cond)                                                 \
+  do {                                                                        \
+    if (!(cond))                                                              \
+      ::paladin::detail::contract_fail("precondition", #cond, __FILE__,       \
+                                       __LINE__, "");                         \
+  } while (0)
+
+/// Precondition with an explanatory note appended to the error message.
+#define PALADIN_EXPECTS_MSG(cond, note)                                       \
+  do {                                                                        \
+    if (!(cond))                                                              \
+      ::paladin::detail::contract_fail("precondition", #cond, __FILE__,       \
+                                       __LINE__, (note));                     \
+  } while (0)
+
+/// Postcondition: the callee promises `cond` on return.
+#define PALADIN_ENSURES(cond)                                                 \
+  do {                                                                        \
+    if (!(cond))                                                              \
+      ::paladin::detail::contract_fail("postcondition", #cond, __FILE__,      \
+                                       __LINE__, "");                         \
+  } while (0)
+
+/// Internal invariant that should hold mid-function.
+#define PALADIN_ASSERT(cond)                                                  \
+  do {                                                                        \
+    if (!(cond))                                                              \
+      ::paladin::detail::contract_fail("invariant", #cond, __FILE__,          \
+                                       __LINE__, "");                         \
+  } while (0)

@@ -1,0 +1,50 @@
+// Cost metering hook.  Algorithms report abstract work (comparisons, record
+// moves, raw seconds) through a Meter; the cluster runtime implements it by
+// charging a node's virtual clock scaled by the node's speed factor.  The
+// indirection keeps the sorting code independent of the simulation layer —
+// a NullMeter makes the algorithms runnable standalone at full speed.
+#pragma once
+
+#include "base/types.h"
+
+namespace paladin {
+
+class Meter {
+ public:
+  virtual ~Meter() = default;
+  /// `n` key comparisons were performed.
+  virtual void on_compares(u64 n) = 0;
+  /// `n` records were moved/copied in memory.
+  virtual void on_moves(u64 n) = 0;
+  /// `s` seconds of miscellaneous work (already in time units).
+  virtual void on_seconds(double s) = 0;
+};
+
+/// Discards all charges; also usable as a default argument target.
+class NullMeter final : public Meter {
+ public:
+  void on_compares(u64) override {}
+  void on_moves(u64) override {}
+  void on_seconds(double) override {}
+
+  /// A shared instance for "no metering" defaults.
+  static NullMeter& instance() {
+    static NullMeter m;
+    return m;
+  }
+};
+
+/// Counts charges without pricing them; used by tests asserting on
+/// operation counts.
+class CountingMeter final : public Meter {
+ public:
+  void on_compares(u64 n) override { compares += n; }
+  void on_moves(u64 n) override { moves += n; }
+  void on_seconds(double s) override { seconds += s; }
+
+  u64 compares = 0;
+  u64 moves = 0;
+  double seconds = 0.0;
+};
+
+}  // namespace paladin

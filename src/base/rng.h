@@ -1,0 +1,102 @@
+// Deterministic random number generation.  Everything in the library that
+// needs randomness (workload generators, random sampling in the DeWitt
+// baseline, overpartitioning pivots) draws from these generators so that an
+// experiment is a pure function of its seed — a requirement for the
+// reproducibility invariants in DESIGN.md §6.
+#pragma once
+
+#include <cmath>
+#include <numbers>
+
+#include "base/contracts.h"
+#include "base/types.h"
+
+namespace paladin {
+
+/// SplitMix64: tiny, fast, passes BigCrush as a mixer.  Used both as a
+/// stand-alone generator and to seed Xoshiro256**.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(u64 seed) : state_(seed) {}
+
+  constexpr u64 next() {
+    u64 z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  u64 state_;
+};
+
+/// Stateless mixing of a single value; handy for order-independent
+/// checksums and for deriving per-node seeds from a master seed.  The
+/// golden-gamma pre-add makes this exactly SplitMix64's output function,
+/// removing the fixed point at 0.
+constexpr u64 mix64(u64 x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Xoshiro256**: the library's workhorse generator.
+class Xoshiro256 {
+ public:
+  explicit constexpr Xoshiro256(u64 seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  constexpr u64 next() {
+    const u64 result = rotl(s_[1] * 5, 7) * 9;
+    const u64 t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire reduction
+  /// would need 128-bit multiply; a rejection loop is simpler and the loop
+  /// almost never iterates).
+  constexpr u64 next_below(u64 bound) {
+    PALADIN_EXPECTS(bound != 0);
+    const u64 threshold = (~bound + 1) % bound;  // == 2^64 mod bound
+    u64 r = next();
+    while (r < threshold) r = next();
+    return r % bound;
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  constexpr u64 next_in(u64 lo, u64 hi) {
+    PALADIN_EXPECTS(lo <= hi);
+    return lo + next_below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Standard normal via Box–Muller.  Deterministic given the stream.
+  double next_gaussian() {
+    // Avoid log(0) by nudging u1 away from zero.
+    const double u1 = next_double() + 0x1.0p-54;
+    const double u2 = next_double();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+ private:
+  static constexpr u64 rotl(u64 x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  u64 s_[4]{};
+};
+
+}  // namespace paladin

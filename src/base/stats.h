@@ -1,0 +1,60 @@
+// Running statistics for experiment repetitions.  The paper reports
+// mean execution time and standard deviation over 30 experiments; this is
+// the accumulator behind every such column.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "base/contracts.h"
+#include "base/types.h"
+
+namespace paladin {
+
+/// Welford's online algorithm: numerically stable mean/variance without
+/// storing the samples.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  u64 count() const { return n_; }
+
+  double mean() const {
+    PALADIN_EXPECTS(n_ > 0);
+    return mean_;
+  }
+
+  /// Sample standard deviation (n-1 denominator), 0 for a single sample —
+  /// matching how the paper's "Deviation" column is computed.
+  double stddev() const {
+    PALADIN_EXPECTS(n_ > 0);
+    if (n_ < 2) return 0.0;
+    return std::sqrt(m2_ / static_cast<double>(n_ - 1));
+  }
+
+  double min() const {
+    PALADIN_EXPECTS(n_ > 0);
+    return min_;
+  }
+  double max() const {
+    PALADIN_EXPECTS(n_ > 0);
+    return max_;
+  }
+
+ private:
+  u64 n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace paladin

@@ -1,0 +1,66 @@
+#include "base/temp_dir.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <system_error>
+
+#include "base/contracts.h"
+#include "base/rng.h"
+
+namespace paladin {
+
+namespace {
+
+std::filesystem::path scratch_root() {
+  if (const char* env = std::getenv("PALADIN_WORKDIR")) {
+    return std::filesystem::path(env);
+  }
+  return std::filesystem::temp_directory_path();
+}
+
+std::atomic<u64> g_counter{0};
+
+}  // namespace
+
+ScopedTempDir::ScopedTempDir(const std::string& tag) {
+  const auto now = static_cast<u64>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  const u64 unique =
+      mix64(now ^ mix64(g_counter.fetch_add(1, std::memory_order_relaxed)));
+  path_ = scratch_root() / (tag + "-" + std::to_string(unique));
+  std::filesystem::create_directories(path_);
+  PALADIN_ENSURES(std::filesystem::is_directory(path_));
+}
+
+ScopedTempDir::~ScopedTempDir() {
+  if (!path_.empty()) {
+    std::error_code ec;  // best-effort cleanup; never throw from a dtor
+    std::filesystem::remove_all(path_, ec);
+  }
+}
+
+ScopedTempDir::ScopedTempDir(ScopedTempDir&& other) noexcept
+    : path_(std::move(other.path_)) {
+  other.path_.clear();
+}
+
+ScopedTempDir& ScopedTempDir::operator=(ScopedTempDir&& other) noexcept {
+  if (this != &other) {
+    if (!path_.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(path_, ec);
+    }
+    path_ = std::move(other.path_);
+    other.path_.clear();
+  }
+  return *this;
+}
+
+std::filesystem::path ScopedTempDir::release() {
+  auto p = std::move(path_);
+  path_.clear();
+  return p;
+}
+
+}  // namespace paladin

@@ -1,0 +1,36 @@
+// RAII scratch directories.  Out-of-core algorithms need real disk space;
+// tests and benches allocate it through ScopedTempDir so that every run
+// cleans up after itself even on exceptions (Core Guidelines P.8: don't
+// leak any resources).
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+namespace paladin {
+
+/// Creates a unique directory (under the system temp dir by default, or
+/// under PALADIN_WORKDIR if that environment variable is set, so users can
+/// point scratch space at a big disk) and removes it recursively on
+/// destruction.
+class ScopedTempDir {
+ public:
+  /// `tag` becomes part of the directory name for debuggability.
+  explicit ScopedTempDir(const std::string& tag = "paladin");
+  ~ScopedTempDir();
+
+  ScopedTempDir(const ScopedTempDir&) = delete;
+  ScopedTempDir& operator=(const ScopedTempDir&) = delete;
+  ScopedTempDir(ScopedTempDir&& other) noexcept;
+  ScopedTempDir& operator=(ScopedTempDir&& other) noexcept;
+
+  const std::filesystem::path& path() const { return path_; }
+
+  /// Releases ownership: the directory will not be deleted.
+  std::filesystem::path release();
+
+ private:
+  std::filesystem::path path_;
+};
+
+}  // namespace paladin

@@ -1,0 +1,39 @@
+// Fundamental fixed-width aliases and the record concept used across the
+// library.  The paper sorts 4-byte integers; the algorithms here are
+// templated on any trivially copyable record type with a strict weak order,
+// and `DefaultKey` names the paper's record type.
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+namespace paladin {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// The record type of the paper's experiments: a 4-byte unsigned integer.
+using DefaultKey = u32;
+
+/// Records that can be written to / read from a PDM block device verbatim.
+/// Block devices move raw bytes, so records must be trivially copyable and
+/// have no external state (Core Guidelines C.10: this is a concrete value
+/// type).
+template <typename T>
+concept Record = std::is_trivially_copyable_v<T> && std::is_object_v<T>;
+
+/// A byte count.  Kept distinct in names ("bytes") from record counts
+/// ("records") and block counts ("blocks") to avoid unit confusion (P.1).
+using ByteCount = u64;
+
+inline constexpr u64 kKiB = 1024;
+inline constexpr u64 kMiB = 1024 * kKiB;
+inline constexpr u64 kGiB = 1024 * kMiB;
+
+}  // namespace paladin

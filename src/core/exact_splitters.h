@@ -1,0 +1,236 @@
+// Exact splitter selection — the multi-round alternative the paper's §3.2
+// alludes to (quantile-based partitioning, its ref. [29]): instead of
+// estimating the perf-proportional cut points from a one-shot regular
+// sample, find them *exactly* by distributed bisection over the key space.
+//
+// After the local sort, the p−1 target global ranks k_j = Σ_{t≤j} l_t are
+// fixed; each bisection round the designated node proposes candidate keys,
+// every node answers with local rank counts (one binary search each), and
+// the intervals halve.  ⌈log2 |key space|⌉ rounds later the splitters are
+// exact, and a tie-splitting pass apportions duplicate keys so every
+// partition has *exactly* its perf-proportional size — sublist expansion
+// 1.0 by construction, even on adversarial or all-duplicate inputs.
+//
+// The price is what the paper's one-step design deliberately avoids: ~32
+// small synchronous message rounds, which on a high-latency network can
+// cost more than the imbalance they remove.  bench_pivot_ablation
+// quantifies the trade.
+//
+// Keys must be unsigned integrals (bisection walks the value space).
+#pragma once
+
+#include <algorithm>
+#include <concepts>
+#include <limits>
+#include <vector>
+
+#include "base/contracts.h"
+#include "base/math_util.h"
+#include "base/types.h"
+#include "hetero/perf_vector.h"
+#include "net/cluster.h"
+#include "seq/counting.h"
+#include "seq/cursors.h"
+#include "seq/loser_tree.h"
+
+namespace paladin::core {
+
+/// Target global ranks of the p−1 cuts: k_j = Σ_{t≤j} share_t.
+inline std::vector<u64> exact_target_ranks(const hetero::PerfVector& perf,
+                                           u64 n) {
+  std::vector<u64> targets;
+  targets.reserve(perf.node_count() - 1);
+  u64 cum = 0;
+  for (u32 j = 0; j + 1 < perf.node_count(); ++j) {
+    cum += perf.share(j, n);
+    targets.push_back(cum);
+  }
+  return targets;
+}
+
+struct ExactSplitResult {
+  /// This node's p+1 cut offsets into its sorted local data.
+  std::vector<u64> cuts;
+  /// Bisection rounds used (≤ key width + 1).
+  u64 rounds = 0;
+};
+
+/// Collective: computes, for every node, the exact cut offsets of its
+/// sorted local span such that partition j has globally exactly
+/// k_j − k_{j−1} records.  Deterministic; duplicates of a splitter key are
+/// apportioned in rank order.
+template <std::unsigned_integral T>
+ExactSplitResult exact_cuts(net::NodeContext& ctx,
+                            std::span<const T> sorted_local,
+                            std::span<const u64> target_ranks) {
+  net::Communicator& comm = ctx.comm();
+  const u32 p = comm.size();
+  const u32 rank = comm.rank();
+  const u64 s = target_ranks.size();
+  PALADIN_EXPECTS(s == p - 1);
+
+  ExactSplitResult result;
+
+  // Bisection state lives at the root; everyone answers count queries.
+  // lo/hi are maintained such that the answer (smallest v with
+  // global_count(<= v) >= k_j) is in [lo_j, hi_j].
+  std::vector<u64> lo(s, 0), hi(s, std::numeric_limits<T>::max());
+  std::vector<T> splitters(s, T{0});
+
+  for (;;) {
+    // Root decides whether any interval is still open and proposes mids.
+    std::vector<u64> mids(s, 0);
+    u8 done = 1;
+    if (rank == 0) {
+      for (u64 j = 0; j < s; ++j) {
+        if (lo[j] < hi[j]) {
+          done = 0;
+          mids[j] = lo[j] + (hi[j] - lo[j]) / 2;
+        } else {
+          mids[j] = lo[j];
+        }
+      }
+    }
+    done = comm.template bcast_value<u8>(done, 0);
+    if (done != 0) break;
+    mids = comm.template bcast_records<u64>(std::move(mids), 0);
+
+    // Local ranks: records <= mid_j (one binary search per splitter).
+    std::vector<u64> counts(s);
+    for (u64 j = 0; j < s; ++j) {
+      counts[j] = seq::metered_upper_bound<T>(
+          sorted_local, static_cast<T>(mids[j]), ctx);
+    }
+    std::vector<u64> all =
+        comm.template gather_records<u64>(std::span<const u64>(counts), 0);
+    if (rank == 0) {
+      for (u64 j = 0; j < s; ++j) {
+        u64 global = 0;
+        for (u32 i = 0; i < p; ++i) global += all[i * s + j];
+        if (lo[j] < hi[j]) {
+          if (global >= target_ranks[j]) {
+            hi[j] = mids[j];
+          } else {
+            lo[j] = mids[j] + 1;
+          }
+        }
+      }
+    }
+    ++result.rounds;
+  }
+  {
+    std::vector<u64> final_lo =
+        comm.template bcast_records<u64>(std::move(lo), 0);
+    for (u64 j = 0; j < s; ++j) splitters[j] = static_cast<T>(final_lo[j]);
+  }
+
+  // Tie splitting: partition j must end exactly at global rank k_j.  Each
+  // node reports (count < v_j, count == v_j); the root hands out
+  // left-of-cut duplicate quotas in rank order.
+  std::vector<u64> below(s), equal(s);
+  for (u64 j = 0; j < s; ++j) {
+    const auto range = std::equal_range(sorted_local.begin(),
+                                        sorted_local.end(), splitters[j]);
+    below[j] = static_cast<u64>(range.first - sorted_local.begin());
+    equal[j] = static_cast<u64>(range.second - range.first);
+    ctx.on_compares(2 * (ilog2_ceil(sorted_local.size() + 2) + 1));
+  }
+  std::vector<u64> stats(2 * s);
+  for (u64 j = 0; j < s; ++j) {
+    stats[2 * j] = below[j];
+    stats[2 * j + 1] = equal[j];
+  }
+  std::vector<u64> gathered =
+      comm.template gather_records<u64>(std::span<const u64>(stats), 0);
+  std::vector<u64> quotas(static_cast<std::size_t>(p) * s, 0);
+  if (rank == 0) {
+    for (u64 j = 0; j < s; ++j) {
+      u64 total_below = 0;
+      for (u32 i = 0; i < p; ++i) total_below += gathered[i * 2 * s + 2 * j];
+      PALADIN_ASSERT(total_below <= target_ranks[j]);
+      u64 need = target_ranks[j] - total_below;  // duplicates going left
+      for (u32 i = 0; i < p; ++i) {
+        const u64 have = gathered[i * 2 * s + 2 * j + 1];
+        const u64 take = std::min(need, have);
+        quotas[i * s + j] = take;
+        need -= take;
+      }
+      PALADIN_ASSERT(need == 0);
+    }
+  }
+  quotas = comm.template bcast_records<u64>(std::move(quotas), 0);
+
+  result.cuts.assign(p + 1, 0);
+  for (u64 j = 0; j < s; ++j) {
+    result.cuts[j + 1] = below[j] + quotas[rank * s + j];
+    PALADIN_ASSERT(result.cuts[j + 1] >= result.cuts[j]);
+  }
+  result.cuts[p] = sorted_local.size();
+  PALADIN_ASSERT(result.cuts[p] >= result.cuts[p - 1]);
+  return result;
+}
+
+struct ExactPsrsReport {
+  u64 local_records = 0;
+  u64 final_records = 0;
+  u64 bisection_rounds = 0;
+  double t_total = 0.0;
+};
+
+/// In-core heterogeneous sort with exact splitters: phases 1/4/5 of PSRS,
+/// with Step 2+3 replaced by the bisection above.  Every node's final
+/// partition is exactly its perf share — by construction, not in
+/// expectation.
+template <std::unsigned_integral T>
+std::vector<T> psrs_exact_incore_sort(net::NodeContext& ctx,
+                                      const hetero::PerfVector& perf,
+                                      std::vector<T> local,
+                                      ExactPsrsReport* report = nullptr) {
+  PALADIN_EXPECTS(perf.node_count() == ctx.node_count());
+  net::Communicator& comm = ctx.comm();
+  const u32 p = comm.size();
+  const double t0 = ctx.clock().now();
+
+  const u64 n = comm.allreduce_sum(local.size());
+  PALADIN_EXPECTS(perf.is_admissible(n));
+  PALADIN_EXPECTS(local.size() == perf.share(comm.rank(), n));
+
+  seq::metered_sort(std::span<T>(local), ctx);
+
+  const std::vector<u64> targets = exact_target_ranks(perf, n);
+  const ExactSplitResult split = exact_cuts<T>(
+      ctx, std::span<const T>(local), std::span<const u64>(targets));
+
+  std::vector<std::vector<T>> outgoing(p);
+  for (u32 j = 0; j < p; ++j) {
+    outgoing[j].assign(local.begin() + static_cast<i64>(split.cuts[j]),
+                       local.begin() + static_cast<i64>(split.cuts[j + 1]));
+  }
+  std::vector<std::vector<T>> incoming =
+      comm.template alltoall_records<T>(std::move(outgoing));
+
+  std::vector<seq::MemCursor<T>> cursors;
+  cursors.reserve(p);
+  for (const auto& run : incoming) {
+    cursors.emplace_back(std::span<const T>(run));
+  }
+  std::vector<seq::MemCursor<T>*> sources;
+  for (auto& c : cursors) sources.push_back(&c);
+  seq::LoserTree<T, seq::MemCursor<T>> tree(std::move(sources), {}, &ctx);
+  std::vector<T> merged;
+  while (const T* top = tree.peek()) {
+    merged.push_back(*top);
+    tree.pop_discard();
+  }
+  ctx.on_moves(merged.size());
+
+  if (report != nullptr) {
+    report->local_records = perf.share(comm.rank(), n);
+    report->final_records = merged.size();
+    report->bisection_rounds = split.rounds;
+    report->t_total = ctx.clock().now() - t0;
+  }
+  return merged;
+}
+
+}  // namespace paladin::core

@@ -1,0 +1,229 @@
+// External sorting by overpartitioning — the Li–Sevcik comparator (§3.3)
+// lifted to the out-of-core setting, so the paper's in-core argument can be
+// re-examined with disks in the loop:
+//
+//   1. random sample of the *unsorted* local files; the designated node
+//      picks p·s−1 pivots (s = overpartitioning factor);
+//   2. one streaming pass routes records into p·s bucket files (binary
+//      search per record — no initial sort);
+//   3. global bucket sizes → greedy perf-weighted LPT schedule assigns
+//      buckets to processors;
+//   4. bucket files travel to their owners;
+//   5. each owner externally sorts each received bucket (its first and
+//      only full sort of that data).
+//
+// The output is one sorted file per owned bucket, named
+// `<output>.bucket<b>`; globally the sort order is the bucket order, with
+// ownership scattered by the schedule — overpartitioning trades the
+// contiguous-slice property of PSRS for size-adaptive assignment.
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "base/contracts.h"
+#include "base/types.h"
+#include "core/overpartition.h"
+#include "hetero/perf_vector.h"
+#include "net/cluster.h"
+#include "pdm/typed_io.h"
+#include "seq/counting.h"
+#include "seq/external_sort.h"
+
+namespace paladin::core {
+
+struct ExtOverpartitionConfig {
+  seq::ExternalSortConfig sequential;
+  /// Overpartitioning factor: p·s buckets.
+  u32 s = 4;
+  /// Candidate pivots sampled per bucket.
+  u32 oversample = 8;
+  u64 message_records = 8192;
+  std::string input = "input";
+  std::string output = "sorted";
+};
+
+struct ExtOverpartitionReport {
+  u64 local_records = 0;
+  u64 final_records = 0;
+  std::vector<u64> owned_buckets;
+  double t_total = 0.0;
+};
+
+/// SPMD body.  On return this node's disk holds `<output>.bucket<b>`
+/// (sorted) for every bucket b it owns; `report.owned_buckets` lists them.
+template <Record T, typename Less = std::less<T>>
+ExtOverpartitionReport ext_overpartition_sort(
+    net::NodeContext& ctx, const hetero::PerfVector& perf,
+    const ExtOverpartitionConfig& config, Less less = {}) {
+  PALADIN_EXPECTS(perf.node_count() == ctx.node_count());
+  PALADIN_EXPECTS(config.s >= 1);
+  net::Communicator& comm = ctx.comm();
+  const u32 p = comm.size();
+  const u32 rank = comm.rank();
+  const u64 buckets = static_cast<u64>(p) * config.s;
+  const double t0 = ctx.clock().now();
+  constexpr int kTagHeader = 60;
+  constexpr int kTagData = 61;
+
+  ExtOverpartitionReport report;
+  report.local_records = ctx.disk().file_records<T>(config.input);
+
+  // ---- 1. Random sampling of the unsorted file; p·s−1 pivots ----------
+  std::vector<T> pivots;
+  {
+    std::vector<T> sample;
+    const u64 want = std::min<u64>(
+        report.local_records,
+        static_cast<u64>(config.s) * config.oversample);
+    pdm::BlockFile f = ctx.disk().open(config.input);
+    pdm::BlockReader<T> reader(f);
+    for (u64 i = 0; i < want; ++i) {
+      reader.seek_record(ctx.rng().next_below(
+          std::max<u64>(report.local_records, 1)));
+      T v;
+      if (reader.next(v)) sample.push_back(v);
+    }
+    std::vector<T> gathered =
+        comm.template gather_records<T>(std::span<const T>(sample), 0);
+    if (rank == 0) {
+      PALADIN_EXPECTS_MSG(gathered.size() >= buckets,
+                          "not enough samples for p*s buckets");
+      seq::metered_sort(std::span<T>(gathered), ctx, less);
+      pivots.reserve(buckets - 1);
+      for (u64 j = 1; j < buckets; ++j) {
+        pivots.push_back(gathered[j * gathered.size() / buckets]);
+      }
+    }
+    pivots = comm.template bcast_records<T>(std::move(pivots), 0);
+  }
+
+  // ---- 2. One streaming pass into p·s bucket files ---------------------
+  const auto local_bucket = [&](u64 b) {
+    return config.output + ".lb" + std::to_string(b);
+  };
+  std::vector<u64> local_sizes(buckets, 0);
+  {
+    std::vector<pdm::BlockFile> files;
+    std::vector<pdm::BlockWriter<T>> writers;
+    files.reserve(buckets);
+    writers.reserve(buckets);
+    for (u64 b = 0; b < buckets; ++b) {
+      files.push_back(ctx.disk().create(local_bucket(b)));
+      writers.emplace_back(files.back());
+    }
+    pdm::BlockFile f = ctx.disk().open(config.input);
+    pdm::BlockReader<T> reader(f);
+    u64 compares = 0;
+    seq::CountingLess<Less> counting{less, &compares};
+    T v;
+    while (reader.next(v)) {
+      const u64 b = static_cast<u64>(
+          std::upper_bound(pivots.begin(), pivots.end(), v, counting) -
+          pivots.begin());
+      writers[b].push(v);
+      ++local_sizes[b];
+    }
+    for (auto& w : writers) w.flush();
+    ctx.on_compares(compares);
+    ctx.on_moves(report.local_records);
+  }
+
+  // ---- 3. Global sizes → LPT assignment (deterministic, same on all) ---
+  std::vector<u64> global_sizes(buckets);
+  {
+    std::vector<u64> gathered = comm.template gather_records<u64>(
+        std::span<const u64>(local_sizes), 0);
+    if (rank == 0) {
+      for (u64 b = 0; b < buckets; ++b) {
+        u64 total = 0;
+        for (u32 i = 0; i < p; ++i) total += gathered[i * buckets + b];
+        global_sizes[b] = total;
+      }
+    }
+    global_sizes =
+        comm.template bcast_records<u64>(std::move(global_sizes), 0);
+  }
+  const std::vector<u32> owner = detail::assign_sublists(global_sizes, perf);
+
+  // ---- 4. Ship bucket files to their owners ----------------------------
+  // Send: for each bucket not owned by me, stream my local piece to the
+  // owner, framed per bucket.  Receive: for each bucket I own, collect the
+  // pieces of all peers.
+  std::vector<T> chunk;
+  chunk.reserve(config.message_records);
+  for (u32 offset = 1; offset < p; ++offset) {
+    const u32 dst = (rank + offset) % p;
+    for (u64 b = 0; b < buckets; ++b) {
+      if (owner[b] != dst) continue;
+      pdm::BlockFile f = ctx.disk().open(local_bucket(b));
+      pdm::BlockReader<T> reader(f);
+      comm.send_value<u64>(dst, kTagHeader, reader.size_records());
+      chunk.clear();
+      T v;
+      while (reader.next(v)) {
+        chunk.push_back(v);
+        if (chunk.size() == config.message_records) {
+          comm.template send_records<T>(dst, kTagData, chunk);
+          chunk.clear();
+        }
+      }
+      if (!chunk.empty()) {
+        comm.template send_records<T>(dst, kTagData, chunk);
+        chunk.clear();
+      }
+    }
+  }
+
+  const auto owned_bucket = [&](u64 b) {
+    return config.output + ".bucket" + std::to_string(b);
+  };
+  // Start each owned bucket with my local piece, then append peers'.
+  for (u64 b = 0; b < buckets; ++b) {
+    if (owner[b] != rank) continue;
+    pdm::BlockFile out = ctx.disk().create(owned_bucket(b) + ".raw");
+    pdm::BlockWriter<T> writer(out);
+    {
+      pdm::BlockFile f = ctx.disk().open(local_bucket(b));
+      pdm::BlockReader<T> reader(f);
+      T v;
+      while (reader.next(v)) writer.push(v);
+    }
+    writer.flush();
+  }
+  for (u32 offset = 1; offset < p; ++offset) {
+    const u32 src = (rank + p - offset) % p;
+    for (u64 b = 0; b < buckets; ++b) {
+      if (owner[b] != rank) continue;
+      const u64 expected = comm.recv_value<u64>(src, kTagHeader);
+      pdm::BlockFile out = ctx.disk().open(owned_bucket(b) + ".raw");
+      pdm::BlockWriter<T> writer(out, /*append=*/true);
+      u64 got = 0;
+      while (got < expected) {
+        std::vector<T> data = comm.template recv_records<T>(src, kTagData);
+        PALADIN_ASSERT(!data.empty());
+        writer.push_span(std::span<const T>(data));
+        got += data.size();
+      }
+      writer.flush();
+    }
+  }
+  for (u64 b = 0; b < buckets; ++b) ctx.disk().remove(local_bucket(b));
+
+  // ---- 5. Externally sort every owned bucket ---------------------------
+  for (u64 b = 0; b < buckets; ++b) {
+    if (owner[b] != rank) continue;
+    seq::external_sort<T, Less>(ctx.disk(), owned_bucket(b) + ".raw",
+                                owned_bucket(b), config.sequential, ctx,
+                                less);
+    ctx.disk().remove(owned_bucket(b) + ".raw");
+    report.owned_buckets.push_back(b);
+    report.final_records += ctx.disk().file_records<T>(owned_bucket(b));
+  }
+
+  report.t_total = ctx.clock().now() - t0;
+  return report;
+}
+
+}  // namespace paladin::core

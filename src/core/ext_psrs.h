@@ -1,0 +1,204 @@
+// Algorithm 1 of the paper: external Parallel Sorting by Regular Sampling
+// for clusters with processors at different speed.  Runs as an SPMD body on
+// every node of a paladin::net::Cluster:
+//
+//   Step 1  sequential external sort of the node's share (polyphase);
+//   Step 2  regular sampling of the sorted file; a designated node sorts
+//           the p·Σperf − p samples and broadcasts the p−1 perf-weighted
+//           pivots;
+//   Step 3  streaming partition of the sorted file into p sub-files;
+//   Step 4  redistribution — partition j travels to node j in
+//           block-multiple messages;
+//   Step 5  final merge of the p received sorted runs with the same
+//           external-merge machinery as Step 1.
+//
+// The PSRS theorem (and its heterogeneous extension, ref. [29] of the
+// paper) bounds node i's final partition by 2·l_i (+d with d duplicates of
+// one key); the tests enforce that bound and the benches report the
+// measured sublist expansion.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "base/contracts.h"
+#include "base/types.h"
+#include "core/partition_file.h"
+#include "core/merge_files.h"
+#include "core/redistribute.h"
+#include "core/sampling.h"
+#include "hetero/perf_vector.h"
+#include "net/cluster.h"
+#include "pdm/typed_io.h"
+#include "seq/external_sort.h"
+
+namespace paladin::core {
+
+struct ExtPsrsConfig {
+  /// Step 1 / Step 5 sequential machinery (memory budget, tape count...).
+  seq::ExternalSortConfig sequential;
+  /// Records per network message in Step 4 (paper: 8K integers = 32 KB).
+  u64 message_records = 8192;
+  /// Sampling densification (extension; 1 = the paper's sampling rate).
+  /// Larger values shrink the pivot quantisation error — the slow nodes'
+  /// balance improves at the cost of a larger gathered sample.
+  u64 sampling_oversample = 1;
+  /// Node that sorts the samples and selects pivots.
+  u32 designated_node = 0;
+  /// Node-local file names.
+  std::string input = "input";
+  std::string output = "sorted";
+  /// Keep Step 1–4 intermediate files (for inspection) instead of
+  /// deleting them as soon as they are consumed.
+  bool keep_intermediates = false;
+};
+
+/// What one node reports after the sort; the experiment harness aggregates
+/// these into the paper's Table 3 columns.
+struct ExtPsrsReport {
+  u64 local_records = 0;    ///< l_i, the node's initial share
+  u64 final_records = 0;    ///< records owned after Step 5
+  u64 samples_contributed = 0;
+  u64 messages_sent = 0;
+
+  // Virtual seconds spent in each step.
+  double t_seq_sort = 0.0;
+  double t_sampling = 0.0;
+  double t_partition = 0.0;
+  double t_redistribute = 0.0;
+  double t_final_merge = 0.0;
+  double t_total = 0.0;
+
+  // Block I/O per step (this node's disk).
+  u64 io_seq_sort = 0;
+  u64 io_sampling = 0;
+  u64 io_partition = 0;
+  u64 io_redistribute = 0;
+  u64 io_final_merge = 0;
+};
+
+/// SPMD body: sorts the cluster-wide dataset whose share on this node is
+/// `config.input`; on return `config.output` holds this node's globally
+/// contiguous slice (node 0's output precedes node 1's, etc.).
+template <Record T, typename Less = std::less<T>>
+ExtPsrsReport ext_psrs_sort(net::NodeContext& ctx,
+                            const hetero::PerfVector& perf,
+                            const ExtPsrsConfig& config, Less less = {}) {
+  PALADIN_EXPECTS(perf.node_count() == ctx.node_count());
+  PALADIN_EXPECTS(config.designated_node < ctx.node_count());
+  net::Communicator& comm = ctx.comm();
+  const u32 p = comm.size();
+  const u32 rank = comm.rank();
+
+  ExtPsrsReport report;
+  report.local_records = ctx.disk().file_records<T>(config.input);
+
+  // The sampling arithmetic requires the Equation-2 share layout.
+  const u64 n = comm.allreduce_sum(report.local_records);
+  PALADIN_EXPECTS_MSG(perf.is_admissible(n),
+                      "input size violates Equation 2; use "
+                      "PerfVector::round_up_admissible");
+  PALADIN_EXPECTS_MSG(report.local_records == perf.share(rank, n),
+                      "node share does not match perf-proportional layout");
+
+  const double t0 = ctx.clock().now();
+  const u64 io0 = ctx.disk().stats().total_block_ios();
+
+  if (p == 1) {
+    // Degenerate single-node "cluster": Algorithm 1 collapses to Step 1.
+    seq::external_sort<T, Less>(ctx.disk(), config.input, config.output,
+                                config.sequential, ctx, less);
+    report.final_records = report.local_records;
+    report.t_seq_sort = ctx.clock().now() - t0;
+    report.io_seq_sort = ctx.disk().stats().total_block_ios() - io0;
+    report.t_total = report.t_seq_sort;
+    report.io_final_merge = 0;
+    return report;
+  }
+
+  // ---- Step 1: sequential external sort of the local share -----------
+  const std::string sorted_local = config.output + ".step1";
+  seq::external_sort<T, Less>(ctx.disk(), config.input, sorted_local,
+                              config.sequential, ctx, less);
+  report.t_seq_sort = ctx.clock().now() - t0;
+  report.io_seq_sort = ctx.disk().stats().total_block_ios() - io0;
+
+  // ---- Step 2: regular sampling & pivot selection ---------------------
+  const double t1 = ctx.clock().now();
+  const u64 io1 = ctx.disk().stats().total_block_ios();
+  std::vector<T> pivots;
+  {
+    const u64 off = perf.sample_stride(n, config.sampling_oversample);
+    std::vector<T> samples;
+    {
+      pdm::BlockFile f = ctx.disk().open(sorted_local);
+      pdm::BlockReader<T> reader(f);
+      samples = draw_regular_sample<T>(reader, off);
+    }
+    PALADIN_ASSERT(samples.size() ==
+                   perf.sample_count(rank, n, config.sampling_oversample));
+    report.samples_contributed = samples.size();
+
+    std::vector<T> gathered = comm.template gather_records<T>(
+        std::span<const T>(samples), config.designated_node);
+    if (rank == config.designated_node) {
+      pivots = select_pivots<T, Less>(gathered, perf, ctx, less,
+                                      config.sampling_oversample);
+    }
+    pivots = comm.template bcast_records<T>(std::move(pivots),
+                                            config.designated_node);
+    PALADIN_ASSERT(pivots.size() == p - 1);
+  }
+  report.t_sampling = ctx.clock().now() - t1;
+  report.io_sampling = ctx.disk().stats().total_block_ios() - io1;
+
+  // ---- Step 3: partition the sorted file by the pivots ----------------
+  const double t2 = ctx.clock().now();
+  const u64 io2 = ctx.disk().stats().total_block_ios();
+  const std::string part_prefix = config.output + ".step3";
+  partition_sorted_file<T, Less>(ctx.disk(), sorted_local, part_prefix,
+                                 std::span<const T>(pivots), ctx, less);
+  if (!config.keep_intermediates) ctx.disk().remove(sorted_local);
+  report.t_partition = ctx.clock().now() - t2;
+  report.io_partition = ctx.disk().stats().total_block_ios() - io2;
+
+  // ---- Step 4: redistribution -----------------------------------------
+  const double t3 = ctx.clock().now();
+  const u64 io3 = ctx.disk().stats().total_block_ios();
+  const std::string recv_prefix = config.output + ".step4";
+  const RedistributeResult exchanged = redistribute_partitions<T>(
+      ctx, part_prefix, recv_prefix, config.message_records);
+  report.messages_sent = exchanged.messages;
+  if (!config.keep_intermediates) {
+    for (u32 j = 0; j < p; ++j) {
+      if (j != rank) ctx.disk().remove(partition_name(part_prefix, j));
+    }
+  }
+  report.t_redistribute = ctx.clock().now() - t3;
+  report.io_redistribute = ctx.disk().stats().total_block_ios() - io3;
+
+  // ---- Step 5: final merge of the p sorted runs ------------------------
+  const double t4 = ctx.clock().now();
+  const u64 io4 = ctx.disk().stats().total_block_ios();
+  {
+    // Runs: the local partition we kept plus one file per peer.
+    std::vector<std::string> run_files;
+    run_files.reserve(p);
+    for (u32 j = 0; j < p; ++j) {
+      run_files.push_back(j == rank ? partition_name(part_prefix, rank)
+                                    : received_name(recv_prefix, j));
+    }
+    report.final_records = merge_sorted_files<T, Less>(
+        ctx.disk(), run_files, config.output,
+        config.sequential.memory_records, ctx, less);
+    if (!config.keep_intermediates) {
+      for (const std::string& f : run_files) ctx.disk().remove(f);
+    }
+  }
+  report.t_final_merge = ctx.clock().now() - t4;
+  report.io_final_merge = ctx.disk().stats().total_block_ios() - io4;
+  report.t_total = ctx.clock().now() - t0;
+  return report;
+}
+
+}  // namespace paladin::core

@@ -1,0 +1,97 @@
+// Step 3 of Algorithm 1: partition a node's *sorted* local file into p
+// sub-files delimited by the p−1 pivots.  Because the input is sorted the
+// split is a single streaming pass — read each record once, write it once:
+// exactly the paper's 2·Q/B I/O bound.  Records equal to a pivot go to the
+// lower partition (ties break toward lower ranks), which is what bounds
+// the duplicate-induced imbalance by the multiplicity d (§3.1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "base/contracts.h"
+#include "base/meter.h"
+#include "base/types.h"
+#include "pdm/typed_io.h"
+#include "seq/counting.h"
+
+namespace paladin::core {
+
+/// Names of the p partition files derived from a prefix.
+inline std::string partition_name(const std::string& prefix, u32 j) {
+  return prefix + ".part" + std::to_string(j);
+}
+
+/// Streams `sorted_file` into p partition files `prefix + ".part<j>"`.
+/// Returns the number of records landed in each partition.
+template <Record T, typename Less = std::less<T>>
+std::vector<u64> partition_sorted_file(pdm::Disk& disk,
+                                       const std::string& sorted_file,
+                                       const std::string& prefix,
+                                       std::span<const T> pivots, Meter& meter,
+                                       Less less = {}) {
+  const u32 p = static_cast<u32>(pivots.size()) + 1;
+  std::vector<u64> sizes(p, 0);
+
+  pdm::BlockFile in = disk.open(sorted_file);
+  pdm::BlockReader<T> reader(in);
+
+  u32 current = 0;
+  pdm::BlockFile out_file = disk.create(partition_name(prefix, 0));
+  std::vector<pdm::BlockFile> files;
+  std::vector<pdm::BlockWriter<T>> writers;
+  files.reserve(p);
+  writers.reserve(p);
+  files.push_back(std::move(out_file));
+  writers.emplace_back(files.back());
+
+  u64 compares = 0;
+  T v;
+  while (reader.next(v)) {
+    // Advance past every pivot the record exceeds (input is sorted, so
+    // `current` only moves forward; the total comparison count is
+    // records + p, not records·log p).
+    while (current + 1 < p) {
+      ++compares;
+      if (!less(pivots[current], v)) break;  // v <= pivot: stays here
+      ++current;
+      files.push_back(disk.create(partition_name(prefix, current)));
+      writers.emplace_back(files.back());
+    }
+    writers[current].push(v);
+    ++sizes[current];
+  }
+  meter.on_compares(compares);
+  meter.on_moves(reader.size_records());
+
+  // Seal open writers and materialise empty partitions for the tail.
+  for (auto& w : writers) w.flush();
+  for (u32 j = current + 1; j < p; ++j) {
+    pdm::BlockFile f = disk.create(partition_name(prefix, j));
+    pdm::BlockWriter<T> w(f);
+    w.flush();
+  }
+  return sizes;
+}
+
+/// In-memory variant: cut points of a sorted span under the same tie rule
+/// (record goes to the lowest partition whose pivot is >= record).
+/// Returns p+1 offsets with cuts[0] = 0 and cuts[p] = data.size().
+template <Record T, typename Less = std::less<T>>
+std::vector<u64> partition_cuts(std::span<const T> sorted,
+                                std::span<const T> pivots, Meter& meter,
+                                Less less = {}) {
+  std::vector<u64> cuts(pivots.size() + 2, 0);
+  for (std::size_t j = 0; j < pivots.size(); ++j) {
+    // Ties toward lower ranks == records equal to the pivot stay below the
+    // cut == upper_bound.
+    cuts[j + 1] = seq::metered_upper_bound(sorted, pivots[j], meter, less);
+  }
+  cuts.back() = sorted.size();
+  for (std::size_t j = 1; j < cuts.size(); ++j) {
+    PALADIN_ASSERT(cuts[j] >= cuts[j - 1]);
+  }
+  return cuts;
+}
+
+}  // namespace paladin::core

@@ -1,0 +1,99 @@
+// Step 2 of the paper's Algorithm 1: regular sampling of each node's
+// *sorted* local file and pivot selection at the designated node.
+//
+// Node i reads samples at local positions off−1, 2·off−1, … (the paper's
+// fseek/fread loop), where off = n/(p·Σperf) is identical on every node —
+// so every sample "represents" the same number of sorted records.  Node i
+// therefore contributes p·perf[i]−1 samples, and the designated node picks
+// pivot j at index p·(perf[0]+…+perf[j]) − 1 of the sorted sample list,
+// giving node j a final partition proportional to perf[j].  The
+// homogeneous case degenerates to classic PSRS pivots.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "base/contracts.h"
+#include "base/meter.h"
+#include "base/types.h"
+#include "hetero/perf_vector.h"
+#include "pdm/typed_io.h"
+#include "seq/counting.h"
+
+namespace paladin::core {
+
+/// Reads the regular sample of a sorted local file of `size` records with
+/// stride `off`: positions off−1, 2·off−1, …, while pos ≤ size−off−1.
+/// Mirrors the paper's pivot-selection loop, including its I/O behaviour
+/// (one seek+read per sample).
+template <Record T>
+std::vector<T> draw_regular_sample(pdm::BlockReader<T>& sorted, u64 off) {
+  PALADIN_EXPECTS(off >= 1);
+  const u64 size = sorted.size_records();
+  std::vector<T> samples;
+  if (size < off) return samples;
+  samples.reserve(size / off);
+  u64 i = off - 1;
+  while (i + off + 1 <= size) {  // i <= size - off - 1, overflow-safe
+    sorted.seek_record(i);
+    T v;
+    const bool ok = sorted.next(v);
+    PALADIN_ASSERT(ok);
+    samples.push_back(v);
+    i += off;
+  }
+  return samples;
+}
+
+/// In-memory variant for the in-core algorithm.
+template <Record T>
+std::vector<T> draw_regular_sample(std::span<const T> sorted, u64 off) {
+  PALADIN_EXPECTS(off >= 1);
+  std::vector<T> samples;
+  if (sorted.size() < off) return samples;
+  u64 i = off - 1;
+  while (i + off + 1 <= sorted.size()) {
+    samples.push_back(sorted[i]);
+    i += off;
+  }
+  return samples;
+}
+
+/// Sorts the gathered samples and selects the p−1 perf-weighted pivots.
+///
+/// Pivot j must approximate the global quantile q_j = cum_j/Σperf (cum_j =
+/// perf[0]+…+perf[j]).  Node i's samples sit at local quantiles
+/// t/(p·perf[i]), so the number of samples at or below q_j is exactly
+/// r_j = Σ_i ⌊p·perf[i]·cum_j/Σperf⌋ — pivot j is the r_j-th smallest
+/// sample.  In the homogeneous case r_j = p·j, the classic PSRS regular
+/// positions.  (Taking p·cum_j unconditionally — the naive generalisation —
+/// is biased high whenever Σperf ∤ p·perf[i]·cum_j, which measurably
+/// overloads slow nodes.)  `samples` is consumed (sorted in place, charged
+/// to the meter).
+template <Record T, typename Less = std::less<T>>
+std::vector<T> select_pivots(std::vector<T>& samples,
+                             const hetero::PerfVector& perf, Meter& meter,
+                             Less less = {}, u64 oversample = 1) {
+  const u32 p = perf.node_count();
+  PALADIN_EXPECTS(oversample >= 1);
+  PALADIN_EXPECTS_MSG(samples.size() >= p,
+                      "too few samples to select p-1 pivots");
+  seq::metered_sort(std::span<T>(samples), meter, less);
+
+  std::vector<T> pivots;
+  pivots.reserve(p - 1);
+  u64 cum = 0;
+  for (u32 j = 0; j + 1 < p; ++j) {
+    cum += perf[j];
+    u64 rank = 0;  // samples at or below the target quantile
+    for (u32 i = 0; i < p; ++i) {
+      rank += oversample * p * perf[i] * cum / perf.sum();
+    }
+    rank = std::max<u64>(rank, 1);
+    const u64 index = std::min<u64>(rank - 1, samples.size() - 1);
+    pivots.push_back(samples[index]);
+  }
+  return pivots;
+}
+
+}  // namespace paladin::core

@@ -1,0 +1,107 @@
+// One entry point over the parallel external sorts, for callers that want
+// to select the algorithm by configuration (the benches, the CLI, A/B
+// experiments) rather than by #include.  All three algorithms share the
+// input convention (node-local file, perf-proportional shares) and the
+// success criterion (a sorted permutation), but differ in output layout:
+// PSRS and distribution sort leave one contiguous slice per node;
+// overpartitioning leaves per-bucket files (see its header).
+#pragma once
+
+#include <string>
+
+#include "base/contracts.h"
+#include "base/types.h"
+#include "core/ext_distribution.h"
+#include "core/ext_overpartition.h"
+#include "core/ext_psrs.h"
+#include "hetero/perf_vector.h"
+#include "net/cluster.h"
+
+namespace paladin::core {
+
+enum class ParallelSortAlgorithm : u8 {
+  kExtPsrs,          ///< the paper's Algorithm 1 (default)
+  kExtDistribution,  ///< DeWitt probabilistic splitting
+  kExtOverpartition, ///< Li–Sevcik overpartitioning
+};
+
+inline const char* to_string(ParallelSortAlgorithm a) {
+  switch (a) {
+    case ParallelSortAlgorithm::kExtPsrs: return "ext-psrs";
+    case ParallelSortAlgorithm::kExtDistribution: return "ext-distribution";
+    case ParallelSortAlgorithm::kExtOverpartition: return "ext-overpartition";
+  }
+  return "?";
+}
+
+struct ParallelSortConfig {
+  ParallelSortAlgorithm algorithm = ParallelSortAlgorithm::kExtPsrs;
+  seq::ExternalSortConfig sequential;
+  u64 message_records = 8192;
+  u64 sampling_oversample = 1;  ///< PSRS only
+  u32 overpartition_s = 4;      ///< overpartitioning only
+  std::string input = "input";
+  std::string output = "sorted";
+};
+
+/// Uniform per-node result across the algorithms.
+struct ParallelSortReport {
+  u64 local_records = 0;
+  u64 final_records = 0;
+  double t_total = 0.0;
+};
+
+/// SPMD body: dispatches to the selected algorithm.
+template <Record T, typename Less = std::less<T>>
+ParallelSortReport parallel_external_sort(net::NodeContext& ctx,
+                                          const hetero::PerfVector& perf,
+                                          const ParallelSortConfig& config,
+                                          Less less = {}) {
+  ParallelSortReport out;
+  switch (config.algorithm) {
+    case ParallelSortAlgorithm::kExtPsrs: {
+      ExtPsrsConfig c;
+      c.sequential = config.sequential;
+      c.message_records = config.message_records;
+      c.sampling_oversample = config.sampling_oversample;
+      c.input = config.input;
+      c.output = config.output;
+      const ExtPsrsReport r = ext_psrs_sort<T, Less>(ctx, perf, c, less);
+      out.local_records = r.local_records;
+      out.final_records = r.final_records;
+      out.t_total = r.t_total;
+      return out;
+    }
+    case ParallelSortAlgorithm::kExtDistribution: {
+      ExtDistributionConfig c;
+      c.sequential = config.sequential;
+      c.message_records = config.message_records;
+      c.input = config.input;
+      c.output = config.output;
+      const ExtDistributionReport r =
+          ext_distribution_sort<T, Less>(ctx, perf, c, less);
+      out.local_records = r.local_records;
+      out.final_records = r.final_records;
+      out.t_total = r.t_total;
+      return out;
+    }
+    case ParallelSortAlgorithm::kExtOverpartition: {
+      ExtOverpartitionConfig c;
+      c.sequential = config.sequential;
+      c.message_records = config.message_records;
+      c.s = config.overpartition_s;
+      c.input = config.input;
+      c.output = config.output;
+      const ExtOverpartitionReport r =
+          ext_overpartition_sort<T, Less>(ctx, perf, c, less);
+      out.local_records = r.local_records;
+      out.final_records = r.final_records;
+      out.t_total = r.t_total;
+      return out;
+    }
+  }
+  PALADIN_ASSERT(false);
+  return out;
+}
+
+}  // namespace paladin::core

@@ -1,0 +1,62 @@
+#include "hetero/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "base/contracts.h"
+#include "pdm/typed_io.h"
+
+namespace paladin::hetero {
+
+PerfVector times_to_perf(const std::vector<double>& seconds) {
+  PALADIN_EXPECTS(!seconds.empty());
+  for (double s : seconds) PALADIN_EXPECTS(s > 0.0);
+  const double slowest = *std::max_element(seconds.begin(), seconds.end());
+
+  std::vector<u32> perf(seconds.size());
+  for (std::size_t i = 0; i < seconds.size(); ++i) {
+    const double ratio = slowest / seconds[i];
+    const long long rounded = std::llround(ratio);
+    perf[i] = rounded < 1 ? 1u : static_cast<u32>(rounded);
+  }
+  u32 g = 0;
+  for (u32 v : perf) g = std::gcd(g, v);
+  if (g > 1) {
+    for (u32& v : perf) v /= g;
+  }
+  return PerfVector(std::move(perf));
+}
+
+CalibrationResult calibrate(const net::ClusterConfig& config,
+                            u64 total_records,
+                            const seq::ExternalSortConfig& sort_config) {
+  const u32 p = config.node_count();
+  PALADIN_EXPECTS(p > 0);
+  const u64 per_node = total_records / p;
+  PALADIN_EXPECTS(per_node > 0);
+
+  net::Cluster cluster(config);
+  auto outcome = cluster.run([&](net::NodeContext& ctx) -> double {
+    // Same uniform input on every node so ratios reflect speed alone.
+    Xoshiro256 rng(mix64(config.seed) + 0xca1b);
+    {
+      pdm::BlockFile f = ctx.disk().create("calib.in");
+      pdm::BlockWriter<DefaultKey> w(f);
+      for (u64 i = 0; i < per_node; ++i) {
+        w.push(static_cast<DefaultKey>(rng.next()));
+      }
+      w.flush();
+    }
+    // Time only the sort itself, as the paper does.
+    const double before = ctx.clock().now();
+    seq::external_sort<DefaultKey>(ctx.disk(), "calib.in", "calib.out",
+                                   sort_config, ctx);
+    return ctx.clock().now() - before;
+  });
+
+  CalibrationResult result{outcome.results, times_to_perf(outcome.results)};
+  return result;
+}
+
+}  // namespace paladin::hetero

@@ -1,0 +1,38 @@
+// The paper's protocol for filling the perf array (§5): run the same
+// sequential external sort the parallel code uses on N/p records on every
+// node, and convert the time ratios (relative to the slowest node) into
+// small integers.  "We guessed that since the external sort performs both
+// in and out operations [...] external sorting is a good indicator of the
+// relative performances."
+#pragma once
+
+#include <vector>
+
+#include "base/types.h"
+#include "hetero/perf_vector.h"
+#include "net/cluster.h"
+#include "seq/external_sort.h"
+
+namespace paladin::hetero {
+
+struct CalibrationResult {
+  /// Per-node sequential sort time of N/p records (simulated seconds).
+  std::vector<double> seconds;
+  /// Derived perf array.
+  PerfVector perf;
+};
+
+/// Pure conversion: per-node times → perf factors.  perf[i] =
+/// round(t_slowest / t_i), clamped to ≥ 1, then reduced by the common gcd
+/// (so a uniformly loaded cluster comes out as all-ones).
+PerfVector times_to_perf(const std::vector<double>& seconds);
+
+/// Runs the paper's protocol on a cluster described by `config` (whose
+/// perf entries model the *actual* machine speeds, unknown to the
+/// algorithm): every node sorts `total_records / p` uniform random keys
+/// with `sort_config` and reports its simulated time.
+CalibrationResult calibrate(const net::ClusterConfig& config,
+                            u64 total_records,
+                            const seq::ExternalSortConfig& sort_config);
+
+}  // namespace paladin::hetero

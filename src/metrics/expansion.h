@@ -1,0 +1,64 @@
+// Load-balance metrics.  The paper's Table 3 reports the "sublist
+// expansion" S(max): the ratio of the largest final partition to the
+// optimal partition size.  In the heterogeneous case "optimal" for node i
+// is its perf-proportional share l_i = n·perf[i]/Σperf, so the expansion is
+// perf-weighted; the homogeneous case degenerates to max/(n/p), the metric
+// of Blelloch et al. that Li–Sevcik quote.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "base/contracts.h"
+#include "base/types.h"
+#include "hetero/perf_vector.h"
+
+namespace paladin::metrics {
+
+/// Perf-weighted sublist expansion: max_i (size_i / perf_i) normalised by
+/// n / Σperf.  1.0 is perfect proportional balance.
+inline double sublist_expansion(std::span<const u64> final_sizes,
+                                const hetero::PerfVector& perf) {
+  PALADIN_EXPECTS(final_sizes.size() == perf.node_count());
+  u64 n = 0;
+  for (u64 s : final_sizes) n += s;
+  if (n == 0) return 1.0;
+  const double optimal_unit =
+      static_cast<double>(n) / static_cast<double>(perf.sum());
+  double worst = 0.0;
+  for (u32 i = 0; i < perf.node_count(); ++i) {
+    const double weighted =
+        static_cast<double>(final_sizes[i]) / static_cast<double>(perf[i]);
+    worst = std::max(worst, weighted);
+  }
+  return worst / optimal_unit;
+}
+
+/// Classic homogeneous expansion: max partition / mean partition.
+inline double sublist_expansion(std::span<const u64> final_sizes) {
+  PALADIN_EXPECTS(!final_sizes.empty());
+  u64 n = 0, mx = 0;
+  for (u64 s : final_sizes) {
+    n += s;
+    mx = std::max(mx, s);
+  }
+  if (n == 0) return 1.0;
+  return static_cast<double>(mx) * static_cast<double>(final_sizes.size()) /
+         static_cast<double>(n);
+}
+
+/// The PSRS bound check: node i's final partition may not exceed
+/// 2·l_i + slack (slack = d, the highest duplicate multiplicity, per §3.1).
+inline bool within_psrs_bound(std::span<const u64> final_sizes,
+                              std::span<const u64> initial_shares,
+                              u64 duplicate_slack = 0) {
+  PALADIN_EXPECTS(final_sizes.size() == initial_shares.size());
+  for (std::size_t i = 0; i < final_sizes.size(); ++i) {
+    if (final_sizes[i] > 2 * initial_shares[i] + duplicate_slack) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace paladin::metrics

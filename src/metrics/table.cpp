@@ -1,0 +1,78 @@
+#include "metrics/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "base/contracts.h"
+
+namespace paladin::metrics {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  PALADIN_EXPECTS(!headers_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  PALADIN_EXPECTS(cells.size() == headers_.size());
+  rows_.push_back(Row{false, {}, std::move(cells)});
+}
+
+void TextTable::add_caption(std::string caption) {
+  rows_.push_back(Row{true, std::move(caption), {}});
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const Row& r : rows_) {
+    if (r.is_caption) continue;
+    for (std::size_t c = 0; c < r.cells.size(); ++c) {
+      width[c] = std::max(width[c], r.cells[c].size());
+    }
+  }
+  std::size_t total = 1;
+  for (std::size_t w : width) total += w + 3;
+
+  auto rule = [&] { os << std::string(total, '-') << '\n'; };
+  auto line = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << ' ' << std::left << std::setw(static_cast<int>(width[c]))
+         << cells[c] << " |";
+    }
+    os << '\n';
+  };
+
+  rule();
+  line(headers_);
+  rule();
+  for (const Row& r : rows_) {
+    if (r.is_caption) {
+      os << "| " << std::left << std::setw(static_cast<int>(total - 3))
+         << r.caption << '|' << '\n';
+    } else {
+      line(r.cells);
+    }
+  }
+  rule();
+}
+
+std::string TextTable::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+std::string TextTable::fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string TextTable::fmt(u64 v) { return std::to_string(v); }
+
+}  // namespace paladin::metrics

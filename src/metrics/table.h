@@ -1,0 +1,38 @@
+// Fixed-width text tables, used by every bench to print paper-style rows.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "base/types.h"
+
+namespace paladin::metrics {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a row; must have as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Spans all columns — used for section captions inside a table.
+  void add_caption(std::string caption);
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt(u64 v);
+
+ private:
+  struct Row {
+    bool is_caption = false;
+    std::string caption;
+    std::vector<std::string> cells;
+  };
+  std::vector<std::string> headers_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace paladin::metrics

@@ -1,0 +1,136 @@
+// BSP (Bulk Synchronous Parallel) superstep layer over the communicator —
+// the programming model the paper's earlier sorting codes used ("our
+// previous codes were developed under the framework of BSP", §5; Valiant
+// 1990; the Oxford/Paderborn libraries of refs [34,35]).
+//
+// A superstep = local computation + posted one-sided messages + sync().
+// sync() delivers everything posted during the step, then barriers; the
+// next superstep reads its inbox.  Costs fall out of the underlying
+// communicator model: sync pays g·h (bytes at the bottleneck node) + L
+// (barrier latency), matching the BSP cost formula to first order.
+#pragma once
+
+#include <cstring>
+#include <vector>
+
+#include "base/contracts.h"
+#include "base/types.h"
+#include "net/cluster.h"
+
+namespace paladin::net {
+
+class Bsp {
+ public:
+  explicit Bsp(NodeContext& ctx) : ctx_(&ctx), outbox_(ctx.node_count()) {}
+
+  u32 pid() const { return ctx_->rank(); }
+  u32 nprocs() const { return ctx_->node_count(); }
+  NodeContext& ctx() { return *ctx_; }
+
+  /// Posts a message for delivery at the next sync().  Messages to self
+  /// are legal and delivered like any other.
+  template <Record T>
+  void send_records(u32 dst, std::span<const T> records) {
+    PALADIN_EXPECTS(dst < nprocs());
+    auto& msg = outbox_[dst].emplace_back();
+    msg.resize(records.size_bytes());
+    std::memcpy(msg.data(), records.data(), records.size_bytes());
+  }
+
+  template <Record T>
+  void send_value(u32 dst, const T& value) {
+    send_records<T>(dst, std::span<const T>(&value, 1));
+  }
+
+  /// Ends the superstep: every posted message is exchanged, the inbox is
+  /// replaced by this step's deliveries (ordered by source, then posting
+  /// order), and all processes synchronise.
+  void sync() {
+    Communicator& comm = ctx_->comm();
+    const u32 p = nprocs();
+
+    // Counts first so receivers know how many messages to drain per peer.
+    std::vector<std::vector<u64>> count_out(p);
+    for (u32 dst = 0; dst < p; ++dst) {
+      count_out[dst] = {outbox_[dst].size()};
+    }
+    const auto counts = comm.alltoall_records<u64>(std::move(count_out));
+
+    for (u32 dst = 0; dst < p; ++dst) {
+      for (auto& msg : outbox_[dst]) {
+        if (dst == pid()) {
+          self_loop_.push_back(std::move(msg));
+        } else {
+          comm.send_bytes(dst, kTagBsp,
+                          std::span<const u8>(msg.data(), msg.size()));
+        }
+      }
+      outbox_[dst].clear();
+    }
+
+    inbox_.clear();
+    for (u32 src = 0; src < p; ++src) {
+      const u64 expected = counts[src].at(0);
+      if (src == pid()) {
+        for (auto& msg : self_loop_) {
+          inbox_.push_back(Delivery{src, std::move(msg)});
+        }
+        PALADIN_ASSERT(self_loop_.size() == expected);
+        self_loop_.clear();
+        continue;
+      }
+      for (u64 m = 0; m < expected; ++m) {
+        inbox_.push_back(Delivery{src, comm.recv_bytes(src, kTagBsp)});
+      }
+    }
+    comm.barrier();
+    ++superstep_;
+  }
+
+  u64 superstep() const { return superstep_; }
+
+  struct Delivery {
+    u32 source;
+    std::vector<u8> payload;
+  };
+
+  /// Messages delivered by the last sync(), ordered by (source, posting
+  /// order).
+  const std::vector<Delivery>& inbox() const { return inbox_; }
+
+  /// Concatenated records received from `src` in the last sync().
+  template <Record T>
+  std::vector<T> records_from(u32 src) const {
+    std::vector<T> out;
+    for (const Delivery& d : inbox_) {
+      if (d.source != src) continue;
+      PALADIN_ASSERT(d.payload.size() % sizeof(T) == 0);
+      const std::size_t old = out.size();
+      out.resize(old + d.payload.size() / sizeof(T));
+      std::memcpy(out.data() + old, d.payload.data(), d.payload.size());
+    }
+    return out;
+  }
+
+  /// All records of the last sync(), concatenated in source order.
+  template <Record T>
+  std::vector<T> all_records() const {
+    std::vector<T> out;
+    for (u32 src = 0; src < nprocs(); ++src) {
+      auto part = records_from<T>(src);
+      out.insert(out.end(), part.begin(), part.end());
+    }
+    return out;
+  }
+
+ private:
+  static constexpr int kTagBsp = 70;
+
+  NodeContext* ctx_;
+  std::vector<std::vector<std::vector<u8>>> outbox_;  // [dst][message]
+  std::vector<std::vector<u8>> self_loop_;
+  std::vector<Delivery> inbox_;
+  u64 superstep_ = 0;
+};
+
+}  // namespace paladin::net

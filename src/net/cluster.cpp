@@ -1,0 +1,31 @@
+#include "net/cluster.h"
+
+namespace paladin::net {
+
+namespace {
+
+pdm::Disk make_node_disk(const ClusterConfig& config, u32 rank) {
+  if (config.workdir.empty()) {
+    return pdm::Disk::in_memory(config.disk);
+  }
+  return pdm::Disk::posix(config.workdir / ("node" + std::to_string(rank)),
+                          config.disk);
+}
+
+}  // namespace
+
+NodeContext::NodeContext(const ClusterConfig& config, Fabric& fabric, u32 rank)
+    : config_(&config),
+      rank_(rank),
+      comm_(fabric, rank, clock_),
+      disk_(make_node_disk(config, rank)),
+      rng_(mix64(config.seed) ^ mix64(0x9e37'79b9'7f4a'7c15ULL + rank)) {
+  // Disk transfer time is charged to this node's clock, optionally scaled
+  // by the node speed (see CostModel::scale_disk_with_speed).
+  const double divisor =
+      config.cost.scale_disk_with_speed ? speed() : 1.0;
+  disk_.set_cost_sink(
+      [this, divisor](double seconds) { clock_.advance(seconds / divisor); });
+}
+
+}  // namespace paladin::net

@@ -1,0 +1,135 @@
+#include "net/communicator.h"
+
+#include <algorithm>
+
+namespace paladin::net {
+
+void Communicator::send_bytes(u32 dst, int tag, std::span<const u8> bytes) {
+  PALADIN_EXPECTS(dst < size());
+  PALADIN_EXPECTS_MSG(tag >= 0, "negative tags are reserved for collectives");
+  send_internal(dst, tag, bytes);
+}
+
+void Communicator::send_internal(u32 dst, int tag,
+                                 std::span<const u8> bytes) {
+  Packet p;
+  p.source = static_cast<int>(rank_);
+  p.tag = tag;
+  p.payload.assign(bytes.begin(), bytes.end());
+  if (dst == rank_) {
+    // Self-delivery: no wire, no cost.
+    p.arrival_time = clock_->now();
+  } else {
+    const NetworkModel& net = fabric_->model();
+    const double wire =
+        static_cast<double>(bytes.size()) / net.bandwidth_bytes_per_second;
+    // Sender pays the per-message software overhead plus the wire
+    // occupancy; the packet lands one latency after it left.
+    clock_->advance(net.per_message_overhead_seconds + wire);
+    p.arrival_time = clock_->now() + net.latency_seconds;
+  }
+  fabric_->mailbox(dst).deliver(std::move(p));
+}
+
+Packet Communicator::recv_packet(u32 src, int tag) {
+  PALADIN_EXPECTS(src < size());
+  Packet p = fabric_->mailbox(rank_).receive(static_cast<int>(src), tag);
+  clock_->merge(p.arrival_time);
+  if (p.source != static_cast<int>(rank_)) {
+    clock_->advance(fabric_->model().per_message_overhead_seconds);
+  }
+  return p;
+}
+
+void Communicator::barrier() {
+  if (fabric_->collectives() == CollectiveAlgo::kBinomial) {
+    allreduce_binomial<u8>(0, [](u8 a, u8 b) { return a | b; });
+    return;
+  }
+  // Linear: everyone reports to rank 0 (rank 0's clock becomes the max),
+  // then rank 0 releases everyone; the release carries the max time.
+  constexpr u32 root = 0;
+  const u8 token = 0;
+  if (rank_ == root) {
+    for (u32 i = 1; i < size(); ++i) {
+      recv_internal(i, kTagBarrier);
+    }
+    for (u32 i = 1; i < size(); ++i) {
+      send_internal(i, kTagBarrier, std::span<const u8>(&token, 1));
+    }
+  } else {
+    send_internal(root, kTagBarrier, std::span<const u8>(&token, 1));
+    recv_internal(root, kTagBarrier);
+  }
+}
+
+Packet Communicator::recv_internal(u32 src, int tag) {
+  Packet p = fabric_->mailbox(rank_).receive(static_cast<int>(src), tag);
+  clock_->merge(p.arrival_time);
+  if (p.source != static_cast<int>(rank_)) {
+    clock_->advance(fabric_->model().per_message_overhead_seconds);
+  }
+  return p;
+}
+
+double Communicator::allreduce_max(double value) {
+  if (fabric_->collectives() == CollectiveAlgo::kBinomial) {
+    return allreduce_binomial<double>(
+        value, [](double a, double b) { return std::max(a, b); });
+  }
+  constexpr u32 root = 0;
+  if (rank_ == root) {
+    for (u32 i = 1; i < size(); ++i) {
+      Packet p = recv_internal(i, kTagReduce);
+      double v;
+      PALADIN_ASSERT(p.payload.size() == sizeof(double));
+      std::memcpy(&v, p.payload.data(), sizeof(double));
+      value = std::max(value, v);
+    }
+    for (u32 i = 1; i < size(); ++i) {
+      send_internal(i, kTagReduce,
+                    std::span<const u8>(reinterpret_cast<const u8*>(&value),
+                                        sizeof(double)));
+    }
+    return value;
+  }
+  send_internal(root, kTagReduce,
+                std::span<const u8>(reinterpret_cast<const u8*>(&value),
+                                    sizeof(double)));
+  Packet p = recv_internal(root, kTagReduce);
+  double out;
+  std::memcpy(&out, p.payload.data(), sizeof(double));
+  return out;
+}
+
+u64 Communicator::allreduce_sum(u64 value) {
+  if (fabric_->collectives() == CollectiveAlgo::kBinomial) {
+    return allreduce_binomial<u64>(value,
+                                   [](u64 a, u64 b) { return a + b; });
+  }
+  constexpr u32 root = 0;
+  if (rank_ == root) {
+    for (u32 i = 1; i < size(); ++i) {
+      Packet p = recv_internal(i, kTagReduce);
+      u64 v;
+      PALADIN_ASSERT(p.payload.size() == sizeof(u64));
+      std::memcpy(&v, p.payload.data(), sizeof(u64));
+      value += v;
+    }
+    for (u32 i = 1; i < size(); ++i) {
+      send_internal(i, kTagReduce,
+                    std::span<const u8>(reinterpret_cast<const u8*>(&value),
+                                        sizeof(u64)));
+    }
+    return value;
+  }
+  send_internal(root, kTagReduce,
+                std::span<const u8>(reinterpret_cast<const u8*>(&value),
+                                    sizeof(u64)));
+  Packet p = recv_internal(root, kTagReduce);
+  u64 out;
+  std::memcpy(&out, p.payload.data(), sizeof(u64));
+  return out;
+}
+
+}  // namespace paladin::net

@@ -1,0 +1,299 @@
+// MPI-flavoured message passing between the node threads of a simulated
+// cluster.  Point-to-point sends are eager (payload copied into the
+// receiver's mailbox), collectives are built on point-to-point with
+// explicit sources so the virtual-time propagation stays deterministic.
+//
+// Simulated-time semantics: a send of b bytes keeps the sender busy for
+// b/bandwidth seconds and arrives at sender_time + latency + b/bandwidth;
+// the receiver's clock merges the arrival time.  Self-sends are free (the
+// algorithms keep node-local data on local disk anyway).
+#pragma once
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "base/contracts.h"
+#include "base/types.h"
+#include "net/mailbox.h"
+#include "net/network_model.h"
+#include "net/virtual_clock.h"
+
+namespace paladin::net {
+
+/// Algorithm family for the collectives.  Linear is the 2002-MPI-naive
+/// default; binomial trees cut the latency terms from O(p) to O(log p),
+/// which bench_scalability quantifies at p = 16.
+enum class CollectiveAlgo : u8 {
+  kLinear,
+  kBinomial,
+};
+
+/// Shared transport state: one mailbox per node plus the link model.
+class Fabric {
+ public:
+  Fabric(u32 node_count, NetworkModel model,
+         CollectiveAlgo collectives = CollectiveAlgo::kLinear)
+      : model_(model), collectives_(collectives) {
+    PALADIN_EXPECTS(node_count > 0);
+    boxes_.reserve(node_count);
+    for (u32 i = 0; i < node_count; ++i) {
+      boxes_.push_back(std::make_unique<Mailbox>());
+    }
+  }
+
+  u32 size() const { return static_cast<u32>(boxes_.size()); }
+  const NetworkModel& model() const { return model_; }
+  CollectiveAlgo collectives() const { return collectives_; }
+  Mailbox& mailbox(u32 rank) { return *boxes_.at(rank); }
+
+  /// Poisons every mailbox; called when any node throws so that peers
+  /// blocked in receive() fail with MailboxPoisoned instead of hanging.
+  void abort_all() {
+    for (auto& b : boxes_) b->poison();
+  }
+
+ private:
+  std::vector<std::unique_ptr<Mailbox>> boxes_;
+  NetworkModel model_;
+  CollectiveAlgo collectives_;
+};
+
+class Communicator {
+ public:
+  Communicator(Fabric& fabric, u32 rank, VirtualClock& clock)
+      : fabric_(&fabric), rank_(rank), clock_(&clock) {
+    PALADIN_EXPECTS(rank < fabric.size());
+  }
+
+  u32 rank() const { return rank_; }
+  u32 size() const { return fabric_->size(); }
+  VirtualClock& clock() { return *clock_; }
+
+  /// Point-to-point send.  Advances the sender's clock by the wire
+  /// occupancy and stamps the packet with its simulated arrival time.
+  void send_bytes(u32 dst, int tag, std::span<const u8> bytes);
+
+  /// Blocking receive from a specific source; merges arrival time.
+  Packet recv_packet(u32 src, int tag);
+
+  std::vector<u8> recv_bytes(u32 src, int tag) {
+    return recv_packet(src, tag).payload;
+  }
+
+  template <Record T>
+  void send_value(u32 dst, int tag, const T& value) {
+    send_bytes(dst, tag,
+               std::span<const u8>(reinterpret_cast<const u8*>(&value),
+                                   sizeof(T)));
+  }
+
+  template <Record T>
+  T recv_value(u32 src, int tag) {
+    Packet p = recv_packet(src, tag);
+    PALADIN_ASSERT(p.payload.size() == sizeof(T));
+    T out;
+    std::memcpy(&out, p.payload.data(), sizeof(T));
+    return out;
+  }
+
+  template <Record T>
+  void send_records(u32 dst, int tag, std::span<const T> records) {
+    send_bytes(dst, tag,
+               std::span<const u8>(reinterpret_cast<const u8*>(records.data()),
+                                   records.size_bytes()));
+  }
+
+  template <Record T>
+  std::vector<T> recv_records(u32 src, int tag) {
+    Packet p = recv_packet(src, tag);
+    PALADIN_ASSERT(p.payload.size() % sizeof(T) == 0);
+    std::vector<T> out(p.payload.size() / sizeof(T));
+    std::memcpy(out.data(), p.payload.data(), p.payload.size());
+    return out;
+  }
+
+  // -- Collectives (linear algorithms; cluster sizes here are small). ----
+
+  /// All nodes wait; on return every clock equals the max participant
+  /// clock plus the synchronisation cost.
+  void barrier();
+
+  /// Root's value is returned on every node.
+  template <Record T>
+  T bcast_value(T value, u32 root) {
+    if (fabric_->collectives() == CollectiveAlgo::kBinomial) {
+      std::vector<T> one;
+      if (rank_ == root) one.push_back(value);
+      one = bcast_records_binomial<T>(std::move(one), root);
+      return one.at(0);
+    }
+    if (rank_ == root) {
+      for (u32 i = 0; i < size(); ++i) {
+        if (i != root) send_value_internal<T>(i, kTagBcast, value);
+      }
+      return value;
+    }
+    return recv_value_internal<T>(root, kTagBcast);
+  }
+
+  /// Root's records are returned on every node.
+  template <Record T>
+  std::vector<T> bcast_records(std::vector<T> records, u32 root) {
+    if (fabric_->collectives() == CollectiveAlgo::kBinomial) {
+      return bcast_records_binomial<T>(std::move(records), root);
+    }
+    if (rank_ == root) {
+      for (u32 i = 0; i < size(); ++i) {
+        if (i != root) send_records_internal<T>(i, kTagBcast, records);
+      }
+      return records;
+    }
+    return recv_records_internal<T>(root, kTagBcast);
+  }
+
+  /// Concatenates every node's records at the root, in rank order.  Returns
+  /// the concatenation at root, an empty vector elsewhere.
+  template <Record T>
+  std::vector<T> gather_records(std::span<const T> mine, u32 root) {
+    if (rank_ != root) {
+      send_records_internal<T>(root, kTagGather, mine);
+      return {};
+    }
+    std::vector<T> all;
+    for (u32 i = 0; i < size(); ++i) {
+      if (i == root) {
+        all.insert(all.end(), mine.begin(), mine.end());
+      } else {
+        std::vector<T> part = recv_records_internal<T>(i, kTagGather);
+        all.insert(all.end(), part.begin(), part.end());
+      }
+    }
+    return all;
+  }
+
+  /// Personalised all-to-all: outgoing[i] goes to rank i; returns
+  /// incoming[i] received from rank i (incoming[rank] = outgoing[rank]).
+  template <Record T>
+  std::vector<std::vector<T>> alltoall_records(
+      std::vector<std::vector<T>> outgoing) {
+    PALADIN_EXPECTS(outgoing.size() == size());
+    for (u32 i = 0; i < size(); ++i) {
+      if (i != rank_) send_records_internal<T>(i, kTagAllToAll, outgoing[i]);
+    }
+    std::vector<std::vector<T>> incoming(size());
+    incoming[rank_] = std::move(outgoing[rank_]);
+    for (u32 i = 0; i < size(); ++i) {
+      if (i != rank_) incoming[i] = recv_records_internal<T>(i, kTagAllToAll);
+    }
+    return incoming;
+  }
+
+  double allreduce_max(double value);
+  u64 allreduce_sum(u64 value);
+
+  /// Reserved tags for collectives; user tags must be non-negative.
+  static constexpr int kTagBarrier = -2;
+  static constexpr int kTagBcast = -3;
+  static constexpr int kTagGather = -4;
+  static constexpr int kTagAllToAll = -5;
+  static constexpr int kTagReduce = -6;
+
+ private:
+  // Internal point-to-point used by collectives (reserved negative tags).
+  void send_internal(u32 dst, int tag, std::span<const u8> bytes);
+  Packet recv_internal(u32 src, int tag);
+
+  template <Record T>
+  void send_value_internal(u32 dst, int tag, const T& value) {
+    send_internal(dst, tag,
+                  std::span<const u8>(reinterpret_cast<const u8*>(&value),
+                                      sizeof(T)));
+  }
+
+  template <Record T>
+  T recv_value_internal(u32 src, int tag) {
+    Packet p = recv_internal(src, tag);
+    PALADIN_ASSERT(p.payload.size() == sizeof(T));
+    T out;
+    std::memcpy(&out, p.payload.data(), sizeof(T));
+    return out;
+  }
+
+  template <Record T>
+  void send_records_internal(u32 dst, int tag, std::span<const T> records) {
+    send_internal(dst, tag,
+                  std::span<const u8>(
+                      reinterpret_cast<const u8*>(records.data()),
+                      records.size_bytes()));
+  }
+
+  template <Record T>
+  std::vector<T> recv_records_internal(u32 src, int tag) {
+    Packet p = recv_internal(src, tag);
+    PALADIN_ASSERT(p.payload.size() % sizeof(T) == 0);
+    std::vector<T> out(p.payload.size() / sizeof(T));
+    std::memcpy(out.data(), p.payload.data(), p.payload.size());
+    return out;
+  }
+
+  /// Binomial-tree broadcast: ⌈log2 p⌉ latency steps instead of p−1.
+  template <Record T>
+  std::vector<T> bcast_records_binomial(std::vector<T> records, u32 root) {
+    const u32 p = size();
+    const u32 vrank = (rank_ + p - root) % p;
+    u32 mask = 1;
+    while (mask < p) {
+      if (vrank & mask) {
+        const u32 src = ((vrank - mask) + root) % p;
+        records = recv_records_internal<T>(src, kTagBcast);
+        break;
+      }
+      mask <<= 1;
+    }
+    // After the loop, mask sits below vrank's lowest set bit (or spans
+    // the whole tree for the root): forward down the tree.
+    mask >>= 1;
+    while (mask > 0) {
+      if (vrank + mask < p) {
+        const u32 dst = ((vrank + mask) + root) % p;
+        send_records_internal<T>(dst, kTagBcast, records);
+      }
+      mask >>= 1;
+    }
+    return records;
+  }
+
+  /// Binomial-tree allreduce rooted at 0: reduce up, broadcast down —
+  /// 2·⌈log2 p⌉ latency steps.
+  template <Record V, typename Op>
+  V allreduce_binomial(V value, Op op) {
+    const u32 p = size();
+    const u32 vrank = rank_;
+    u32 mask = 1;
+    while (mask < p) {
+      if (vrank & mask) {
+        send_value_internal<V>(vrank ^ mask, kTagReduce, value);
+        break;
+      }
+      if (vrank + mask < p) {
+        const V other = recv_value_internal<V>(vrank + mask, kTagReduce);
+        value = op(value, other);
+      }
+      mask <<= 1;
+    }
+    std::vector<V> one;
+    if (rank_ == 0) one.push_back(value);
+    one = bcast_records_binomial<V>(std::move(one), 0);
+    return one.at(0);
+  }
+
+  Fabric* fabric_;
+  u32 rank_;
+  VirtualClock* clock_;
+};
+
+}  // namespace paladin::net

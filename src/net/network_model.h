@@ -1,0 +1,53 @@
+// Interconnect cost model: a point-to-point message of b bytes costs
+// latency + b/bandwidth seconds (the classic postal/LogP-style first-order
+// model).  Profiles reproduce the paper's two interconnects; the paper's
+// finding is that the sort is communication-light enough that Myrinet does
+// not beat Fast Ethernet, which this model lets us re-check.
+#pragma once
+
+#include <string>
+
+#include "base/contracts.h"
+#include "base/types.h"
+
+namespace paladin::net {
+
+struct NetworkModel {
+  std::string name = "fast-ethernet";
+  /// One-way message latency (software + wire), seconds.
+  double latency_seconds = 120e-6;
+  /// Sustained point-to-point bandwidth, bytes/second.
+  double bandwidth_bytes_per_second = 11.0e6;
+  /// Per-message CPU/protocol overhead paid by each endpoint (the LogP
+  /// "o" parameter).  This is what makes tiny packets catastrophic in the
+  /// paper's §5 experiment: the 2002 TCP stack charged every send and
+  /// receive regardless of payload.
+  double per_message_overhead_seconds = 200e-6;
+
+  double transfer_seconds(ByteCount bytes) const {
+    PALADIN_EXPECTS(bandwidth_bytes_per_second > 0);
+    return latency_seconds +
+           static_cast<double>(bytes) / bandwidth_bytes_per_second;
+  }
+
+  /// 100 Mb/s switched Fast Ethernet with ~2002 TCP/MPI latency.
+  static NetworkModel fast_ethernet() { return NetworkModel{}; }
+
+  /// Myrinet-2000: ~2 Gb/s links, single-digit-µs latency (GM layer).
+  static NetworkModel myrinet() {
+    return NetworkModel{.name = "myrinet",
+                        .latency_seconds = 9e-6,
+                        .bandwidth_bytes_per_second = 230.0e6,
+                        .per_message_overhead_seconds = 10e-6};
+  }
+
+  /// An idealised free network, for isolating computation/IO effects.
+  static NetworkModel infinite() {
+    return NetworkModel{.name = "infinite",
+                        .latency_seconds = 0.0,
+                        .bandwidth_bytes_per_second = 1e18,
+                        .per_message_overhead_seconds = 0.0};
+  }
+};
+
+}  // namespace paladin::net

@@ -1,0 +1,33 @@
+// Per-node simulated time.  Each cluster node advances its own clock by the
+// priced cost of its local work; message timestamps propagate time between
+// nodes (receive time = max(local time, arrival time)), which makes the
+// simulated makespan deterministic — independent of how the OS schedules
+// the node threads.  This is the standard conservative virtual-time scheme.
+#pragma once
+
+#include <algorithm>
+
+#include "base/contracts.h"
+
+namespace paladin::net {
+
+class VirtualClock {
+ public:
+  double now() const { return now_; }
+
+  void advance(double seconds) {
+    PALADIN_EXPECTS(seconds >= 0.0);
+    now_ += seconds;
+  }
+
+  /// Synchronise with an event that completes at absolute time `t` (e.g. a
+  /// message arrival): local time becomes max(now, t).
+  void merge(double t) { now_ = std::max(now_, t); }
+
+  void reset() { now_ = 0.0; }
+
+ private:
+  double now_ = 0.0;
+};
+
+}  // namespace paladin::net

@@ -1,0 +1,66 @@
+#include "pdm/disk.h"
+
+#include "base/math_util.h"
+
+namespace paladin::pdm {
+
+u64 BlockFile::read_at(u64 offset, std::span<u8> out) {
+  PALADIN_EXPECTS(valid());
+  const u64 n = handle_->read_at(offset, out);
+  if (n > 0) {
+    disk_->account(ceil_div(n, disk_->params().block_bytes), n,
+                   /*is_write=*/false);
+  }
+  return n;
+}
+
+void BlockFile::write_at(u64 offset, std::span<const u8> data) {
+  PALADIN_EXPECTS(valid());
+  if (data.empty()) return;
+  handle_->write_at(offset, data);
+  disk_->account(ceil_div(data.size(), disk_->params().block_bytes),
+                 data.size(), /*is_write=*/true);
+}
+
+Disk Disk::posix(const std::filesystem::path& dir, DiskParams params) {
+  return Disk(std::make_unique<PosixBackend>(dir), params);
+}
+
+Disk Disk::in_memory(DiskParams params) {
+  return Disk(std::make_unique<MemBackend>(), params);
+}
+
+Disk::Disk(std::unique_ptr<FileBackend> backend, DiskParams params)
+    : backend_(std::move(backend)), params_(params) {
+  PALADIN_EXPECTS(params_.block_bytes > 0);
+}
+
+BlockFile Disk::create(const std::string& name) {
+  auto handle = backend_->create(name);
+  ++stats_.files_created;
+  return BlockFile(this, name, std::move(handle));
+}
+
+BlockFile Disk::open(const std::string& name) {
+  return BlockFile(this, name, backend_->open(name));
+}
+
+void Disk::remove(const std::string& name) {
+  backend_->remove(name);
+  ++stats_.files_removed;
+}
+
+void Disk::account(u64 blocks, ByteCount bytes, bool is_write) {
+  if (is_write) {
+    stats_.blocks_written += blocks;
+    stats_.bytes_written += bytes;
+  } else {
+    stats_.blocks_read += blocks;
+    stats_.bytes_read += bytes;
+  }
+  if (cost_sink_) {
+    cost_sink_(static_cast<double>(blocks) * params_.block_cost_seconds());
+  }
+}
+
+}  // namespace paladin::pdm

@@ -1,0 +1,158 @@
+#include "pdm/file_backend.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "base/contracts.h"
+
+namespace paladin::pdm {
+
+namespace {
+
+/// FileHandle over a stdio FILE*.  stdio keeps the implementation portable
+/// and is plenty fast with the block-sized transfers the Disk layer issues.
+class PosixFileHandle final : public FileHandle {
+ public:
+  explicit PosixFileHandle(std::FILE* f) : f_(f) { PALADIN_EXPECTS(f_); }
+  ~PosixFileHandle() override {
+    if (f_) std::fclose(f_);
+  }
+  PosixFileHandle(const PosixFileHandle&) = delete;
+  PosixFileHandle& operator=(const PosixFileHandle&) = delete;
+
+  u64 read_at(u64 offset, std::span<u8> out) override {
+    if (std::fseek(f_, static_cast<long>(offset), SEEK_SET) != 0) return 0;
+    return std::fread(out.data(), 1, out.size(), f_);
+  }
+
+  void write_at(u64 offset, std::span<const u8> data) override {
+    PALADIN_EXPECTS(std::fseek(f_, static_cast<long>(offset), SEEK_SET) == 0);
+    const u64 n = std::fwrite(data.data(), 1, data.size(), f_);
+    PALADIN_ENSURES(n == data.size());
+  }
+
+  u64 size_bytes() const override {
+    PALADIN_EXPECTS(std::fseek(f_, 0, SEEK_END) == 0);
+    const long s = std::ftell(f_);
+    PALADIN_ENSURES(s >= 0);
+    return static_cast<u64>(s);
+  }
+
+  void truncate(u64 new_size) override {
+    // stdio has no portable truncate; emulate only the grow direction we
+    // need and assert otherwise.  (Shrinking is never required: files are
+    // recreated rather than shrunk.)
+    const u64 cur = size_bytes();
+    if (new_size > cur) {
+      const u8 zero = 0;
+      write_at(new_size - 1, std::span<const u8>(&zero, 1));
+    } else {
+      PALADIN_EXPECTS_MSG(new_size == cur,
+                          "PosixFileHandle does not support shrinking");
+    }
+  }
+
+ private:
+  mutable std::FILE* f_;
+};
+
+class MemFileHandle final : public FileHandle {
+ public:
+  explicit MemFileHandle(std::shared_ptr<std::vector<u8>> buf)
+      : buf_(std::move(buf)) {}
+
+  u64 read_at(u64 offset, std::span<u8> out) override {
+    if (offset >= buf_->size()) return 0;
+    const u64 n = std::min<u64>(out.size(), buf_->size() - offset);
+    std::memcpy(out.data(), buf_->data() + offset, n);
+    return n;
+  }
+
+  void write_at(u64 offset, std::span<const u8> data) override {
+    if (offset + data.size() > buf_->size()) buf_->resize(offset + data.size());
+    std::memcpy(buf_->data() + offset, data.data(), data.size());
+  }
+
+  u64 size_bytes() const override { return buf_->size(); }
+
+  void truncate(u64 new_size) override { buf_->resize(new_size); }
+
+ private:
+  std::shared_ptr<std::vector<u8>> buf_;
+};
+
+}  // namespace
+
+PosixBackend::PosixBackend(std::filesystem::path dir) : dir_(std::move(dir)) {
+  std::filesystem::create_directories(dir_);
+}
+
+std::filesystem::path PosixBackend::resolve(const std::string& name) const {
+  PALADIN_EXPECTS_MSG(name.find('/') == std::string::npos,
+                      "file names are flat within a disk");
+  return dir_ / name;
+}
+
+std::unique_ptr<FileHandle> PosixBackend::create(const std::string& name) {
+  std::FILE* f = std::fopen(resolve(name).c_str(), "w+b");
+  PALADIN_EXPECTS_MSG(f != nullptr, "cannot create " + name);
+  return std::make_unique<PosixFileHandle>(f);
+}
+
+std::unique_ptr<FileHandle> PosixBackend::open(const std::string& name) {
+  std::FILE* f = std::fopen(resolve(name).c_str(), "r+b");
+  PALADIN_EXPECTS_MSG(f != nullptr, "cannot open " + name);
+  return std::make_unique<PosixFileHandle>(f);
+}
+
+bool PosixBackend::exists(const std::string& name) const {
+  return std::filesystem::exists(resolve(name));
+}
+
+void PosixBackend::remove(const std::string& name) {
+  std::filesystem::remove(resolve(name));
+}
+
+u64 PosixBackend::file_size(const std::string& name) const {
+  return std::filesystem::file_size(resolve(name));
+}
+
+u64 PosixBackend::total_bytes() const {
+  u64 total = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    if (entry.is_regular_file()) total += entry.file_size();
+  }
+  return total;
+}
+
+std::unique_ptr<FileHandle> MemBackend::create(const std::string& name) {
+  auto buf = std::make_shared<std::vector<u8>>();
+  files_[name] = buf;
+  return std::make_unique<MemFileHandle>(std::move(buf));
+}
+
+std::unique_ptr<FileHandle> MemBackend::open(const std::string& name) {
+  auto it = files_.find(name);
+  PALADIN_EXPECTS_MSG(it != files_.end(), "cannot open " + name);
+  return std::make_unique<MemFileHandle>(it->second);
+}
+
+bool MemBackend::exists(const std::string& name) const {
+  return files_.contains(name);
+}
+
+void MemBackend::remove(const std::string& name) { files_.erase(name); }
+
+u64 MemBackend::file_size(const std::string& name) const {
+  auto it = files_.find(name);
+  PALADIN_EXPECTS(it != files_.end());
+  return it->second->size();
+}
+
+u64 MemBackend::total_bytes() const {
+  u64 total = 0;
+  for (const auto& [name, buf] : files_) total += buf->size();
+  return total;
+}
+
+}  // namespace paladin::pdm

@@ -1,0 +1,55 @@
+// Closed forms of the PDM quantities the paper quotes: n = N/B, m = M/B,
+// and the sorting lower/upper bound Sort(N) = Θ((n/D)·log_m n) of
+// Aggarwal–Vitter (Theorem 1 in the paper).  bench_io_bound compares
+// measured block counts against these.
+#pragma once
+
+#include "base/contracts.h"
+#include "base/math_util.h"
+#include "base/types.h"
+
+namespace paladin::pdm {
+
+struct PdmShape {
+  u64 N;  ///< problem size, in records
+  u64 M;  ///< internal memory, in records
+  u64 B;  ///< block size, in records
+  u64 D = 1;  ///< independent disks
+
+  /// n = N/B (blocks of input), rounded up.
+  u64 n_blocks() const { return ceil_div(N, B); }
+  /// m = M/B (blocks that fit in memory).
+  u64 m_blocks() const {
+    PALADIN_EXPECTS(M >= B);
+    return M / B;
+  }
+
+  bool fits_in_memory() const { return N <= M; }
+
+  /// Number of merge passes over the data a Θ-optimal external sort makes:
+  /// 1 (run formation) + ⌈log_m(number of runs)⌉.
+  u64 optimal_passes() const {
+    if (fits_in_memory()) return 1;
+    const u64 runs = ceil_div(N, M);
+    const u64 m = m_blocks();
+    PALADIN_EXPECTS_MSG(m >= 2, "need at least 2 blocks of memory to merge");
+    return 1 + ilog_ceil(runs, m);
+  }
+
+  /// The Theorem-1 bound on block I/Os, with the conventional constant 2
+  /// (each pass reads and writes the data once): 2·(n/D)·(1+⌈log_m n⌉).
+  u64 sort_io_bound() const {
+    const u64 per_disk = ceil_div(n_blocks(), D);
+    return 2 * per_disk * optimal_passes();
+  }
+};
+
+/// The paper's Step-1 bound for the sequential sort of l records with one
+/// disk: 2·(l/B)·(1 + ⌈log_m (l/B)⌉) block I/Os.
+inline u64 sequential_sort_io_bound(u64 l_records, u64 memory_records,
+                                    u64 block_records) {
+  PdmShape s{.N = l_records, .M = memory_records, .B = block_records, .D = 1};
+  return s.sort_io_bound();
+}
+
+}  // namespace paladin::pdm

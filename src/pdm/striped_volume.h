@@ -1,0 +1,201 @@
+// D independent disks per node (PDM's D parameter, Figure 1 of the paper).
+// A StripedVolume writes a logical record stream across D disks one block
+// at a time, round-robin — PDM's "striped writes" — and reads the blocks
+// back from the D disks "independently".  With D disks, a stream of n
+// blocks costs only ceil(n/D) parallel block transfers; parallel_time_of()
+// exposes that cost (the max over per-disk costs).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "base/contracts.h"
+#include "base/math_util.h"
+#include "base/types.h"
+#include "pdm/disk.h"
+#include "pdm/typed_io.h"
+
+namespace paladin::pdm {
+
+class StripedVolume {
+ public:
+  explicit StripedVolume(std::vector<Disk> disks) : disks_(std::move(disks)) {
+    PALADIN_EXPECTS(!disks_.empty());
+    for (const Disk& d : disks_) {
+      PALADIN_EXPECTS_MSG(
+          d.params().block_bytes == disks_.front().params().block_bytes,
+          "all stripes must share one block size");
+    }
+  }
+
+  /// Builds a volume of `d` in-memory disks (tests / benches).
+  static StripedVolume in_memory(u64 d, DiskParams params) {
+    std::vector<Disk> disks;
+    disks.reserve(d);
+    for (u64 i = 0; i < d; ++i) disks.push_back(Disk::in_memory(params));
+    return StripedVolume(std::move(disks));
+  }
+
+  u64 disk_count() const { return disks_.size(); }
+  Disk& disk(u64 i) { return disks_.at(i); }
+
+  /// Name of the stripe file of logical file `name` on disk `i`.
+  static std::string stripe_name(const std::string& name, u64 i) {
+    return name + ".stripe" + std::to_string(i);
+  }
+
+  void remove(const std::string& name) {
+    for (u64 i = 0; i < disks_.size(); ++i) {
+      if (disks_[i].exists(stripe_name(name, i))) {
+        disks_[i].remove(stripe_name(name, i));
+      }
+    }
+  }
+
+  /// Aggregate I/O over all stripes.
+  IoStats total_stats() const {
+    IoStats total;
+    for (const Disk& d : disks_) total += d.stats();
+    return total;
+  }
+
+  /// PDM parallel I/O count: with D disks transferring simultaneously, the
+  /// cost of the volume's traffic is the *maximum* per-disk block count.
+  u64 parallel_block_ios() const {
+    u64 mx = 0;
+    for (const Disk& d : disks_) mx = std::max(mx, d.stats().total_block_ios());
+    return mx;
+  }
+
+  void reset_stats() {
+    for (Disk& d : disks_) d.reset_stats();
+  }
+
+ private:
+  std::vector<Disk> disks_;
+};
+
+/// Writes a record stream striped across the volume's disks, one block per
+/// disk in round-robin order.
+template <Record T>
+class StripedWriter {
+ public:
+  StripedVolume& volume() { return *volume_; }
+
+  StripedWriter(StripedVolume& volume, const std::string& name)
+      : volume_(&volume),
+        records_per_block_(
+            volume.disk(0).params().records_per_block(sizeof(T))) {
+    for (u64 i = 0; i < volume.disk_count(); ++i) {
+      files_.push_back(
+          volume.disk(i).create(StripedVolume::stripe_name(name, i)));
+    }
+    buffer_.reserve(records_per_block_);
+  }
+
+  void push(const T& record) {
+    buffer_.push_back(record);
+    ++records_written_;
+    if (buffer_.size() == records_per_block_) flush_block();
+  }
+
+  void push_span(std::span<const T> records) {
+    for (const T& r : records) push(r);
+  }
+
+  void flush() {
+    if (!buffer_.empty()) flush_block();
+  }
+
+  u64 records_written() const { return records_written_; }
+
+ private:
+  void flush_block() {
+    BlockFile& f = files_[next_disk_];
+    f.append(std::span<const u8>(reinterpret_cast<const u8*>(buffer_.data()),
+                                 buffer_.size() * sizeof(T)));
+    buffer_.clear();
+    next_disk_ = (next_disk_ + 1) % files_.size();
+  }
+
+  StripedVolume* volume_;
+  u64 records_per_block_;
+  std::vector<BlockFile> files_;
+  std::vector<T> buffer_;
+  u64 next_disk_ = 0;
+  u64 records_written_ = 0;
+};
+
+/// Reads a striped record stream back in logical order.
+template <Record T>
+class StripedReader {
+ public:
+  StripedReader(StripedVolume& volume, const std::string& name)
+      : records_per_block_(
+            volume.disk(0).params().records_per_block(sizeof(T))) {
+    // Readers hold references into files_: reserve up front so growth
+    // never relocates the BlockFiles.
+    files_.reserve(volume.disk_count());
+    readers_.reserve(volume.disk_count());
+    for (u64 i = 0; i < volume.disk_count(); ++i) {
+      files_.push_back(
+          volume.disk(i).open(StripedVolume::stripe_name(name, i)));
+      readers_.emplace_back(files_.back());
+      size_records_ += readers_.back().size_records();
+    }
+  }
+
+  u64 size_records() const { return size_records_; }
+  bool done() const { return read_ >= size_records_ && !has_cached_; }
+
+  /// One-record lookahead, so a StripedReader can feed a LoserTree.
+  const T* peek() {
+    if (!has_cached_) {
+      if (!fetch(cached_)) return nullptr;
+      has_cached_ = true;
+    }
+    return &cached_;
+  }
+
+  void advance() {
+    const T* p = peek();
+    PALADIN_EXPECTS(p != nullptr);
+    has_cached_ = false;
+  }
+
+  bool next(T& out) {
+    const T* p = peek();
+    if (p == nullptr) return false;
+    out = *p;
+    has_cached_ = false;
+    return true;
+  }
+
+ private:
+  bool fetch(T& out) {
+    if (read_ >= size_records_) return false;
+    BlockReader<T>& r = readers_[next_disk_];
+    const bool ok = r.next(out);
+    PALADIN_ASSERT(ok);
+    ++read_;
+    if (++in_block_ == records_per_block_ || r.done()) {
+      // Move to the next stripe at each block boundary; also when the
+      // current stripe ends early (final partial block of the stream).
+      in_block_ = 0;
+      next_disk_ = (next_disk_ + 1) % readers_.size();
+    }
+    return true;
+  }
+
+  u64 records_per_block_;
+  std::vector<BlockFile> files_;
+  std::vector<BlockReader<T>> readers_;
+  u64 size_records_ = 0;
+  u64 read_ = 0;
+  u64 in_block_ = 0;
+  u64 next_disk_ = 0;
+  bool has_cached_ = false;
+  T cached_{};
+};
+
+}  // namespace paladin::pdm

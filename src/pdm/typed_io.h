@@ -1,0 +1,193 @@
+// Typed, block-buffered access to BlockFiles.  All sorting code reads and
+// writes records through these two classes, so every record that crosses
+// the RAM/disk boundary does it in block-sized transfers — the invariant
+// behind the PDM I/O accounting.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "base/contracts.h"
+#include "base/types.h"
+#include "pdm/disk.h"
+
+namespace paladin::pdm {
+
+/// Sequential block-buffered writer of records of type T.
+///
+/// Buffers up to one block of records and issues whole-block write_at calls.
+/// Call flush() (or let the destructor do it) to push the final partial
+/// block.  The file must not be accessed through other handles while a
+/// writer is attached.
+template <Record T>
+class BlockWriter {
+ public:
+  /// If `append` is true, starts at the current end of file.
+  explicit BlockWriter(BlockFile& file, bool append = false)
+      : file_(&file),
+        records_per_block_(file.disk().params().records_per_block(sizeof(T))),
+        cursor_bytes_(append ? file.size_bytes() : 0) {
+    buffer_.reserve(records_per_block_);
+  }
+
+  BlockWriter(BlockWriter&&) = default;
+  BlockWriter& operator=(BlockWriter&&) = default;
+
+  ~BlockWriter() {
+    // Core Guidelines E.16: destructors must not throw.  Flush eagerly in
+    // normal operation; the destructor flush is a best-effort backstop —
+    // if the device fails here (e.g. mid-unwind after an I/O error) the
+    // buffered tail is dropped rather than terminating the program.
+    if (file_ != nullptr && !buffer_.empty()) {
+      try {
+        flush();
+      } catch (...) {
+        // swallow: an explicit flush() would have reported this
+      }
+    }
+  }
+
+  void push(const T& record) {
+    buffer_.push_back(record);
+    ++records_written_;
+    if (buffer_.size() == records_per_block_) flush();
+  }
+
+  void push_span(std::span<const T> records) {
+    for (const T& r : records) push(r);
+  }
+
+  /// Writes buffered records to the file (a partial block costs one block
+  /// transfer, as in PDM).
+  void flush() {
+    if (buffer_.empty()) return;
+    file_->write_at(cursor_bytes_,
+                    std::span<const u8>(
+                        reinterpret_cast<const u8*>(buffer_.data()),
+                        buffer_.size() * sizeof(T)));
+    cursor_bytes_ += buffer_.size() * sizeof(T);
+    buffer_.clear();
+  }
+
+  u64 records_written() const { return records_written_; }
+
+ private:
+  BlockFile* file_;
+  u64 records_per_block_;
+  u64 cursor_bytes_ = 0;
+  u64 records_written_ = 0;
+  std::vector<T> buffer_;
+};
+
+/// Sequential block-buffered reader of records of type T, with peek() for
+/// k-way merging and record-granular seek for the sampling step of the
+/// algorithm (the paper's fseek/fread pivot-selection loop).
+template <Record T>
+class BlockReader {
+ public:
+  explicit BlockReader(BlockFile& file)
+      : file_(&file),
+        records_per_block_(file.disk().params().records_per_block(sizeof(T))) {
+    const u64 bytes = file.size_bytes();
+    PALADIN_EXPECTS_MSG(bytes % sizeof(T) == 0,
+                        "file does not hold whole records");
+    size_records_ = bytes / sizeof(T);
+  }
+
+  BlockReader(BlockReader&&) = default;
+  BlockReader& operator=(BlockReader&&) = default;
+
+  u64 size_records() const { return size_records_; }
+  u64 position() const { return next_record_; }
+  bool done() const { return next_record_ >= size_records_; }
+  u64 remaining() const { return size_records_ - next_record_; }
+
+  /// Returns the next record without consuming it, or nullptr at EOF.
+  const T* peek() {
+    if (done()) return nullptr;
+    ensure_buffered();
+    return &buffer_[next_record_ - buffer_first_];
+  }
+
+  /// Reads the next record into `out`; returns false at EOF.
+  bool next(T& out) {
+    const T* p = peek();
+    if (p == nullptr) return false;
+    out = *p;
+    ++next_record_;
+    return true;
+  }
+
+  /// Consumes the next record (peek() must have returned non-null).
+  void advance() {
+    PALADIN_EXPECTS(!done());
+    ensure_buffered();
+    ++next_record_;
+  }
+
+  /// Repositions to absolute record index `idx` (0-based).  A subsequent
+  /// read re-fetches the containing block, modelling a seek.
+  void seek_record(u64 idx) {
+    PALADIN_EXPECTS(idx <= size_records_);
+    next_record_ = idx;
+    buffer_.clear();
+    buffer_first_ = 0;
+  }
+
+  /// Bulk read of up to out.size() records; returns records read.
+  u64 read_span(std::span<T> out) {
+    u64 n = 0;
+    while (n < out.size() && next(out[n])) ++n;
+    return n;
+  }
+
+ private:
+  void ensure_buffered() {
+    if (!buffer_.empty() && next_record_ >= buffer_first_ &&
+        next_record_ < buffer_first_ + buffer_.size()) {
+      return;
+    }
+    // Fetch the block containing next_record_.
+    const u64 block_first =
+        (next_record_ / records_per_block_) * records_per_block_;
+    const u64 count =
+        std::min(records_per_block_, size_records_ - block_first);
+    buffer_.resize(count);
+    const u64 got = file_->read_at(
+        block_first * sizeof(T),
+        std::span<u8>(reinterpret_cast<u8*>(buffer_.data()),
+                      count * sizeof(T)));
+    PALADIN_ASSERT(got == count * sizeof(T));
+    buffer_first_ = block_first;
+  }
+
+  BlockFile* file_;
+  u64 records_per_block_;
+  u64 size_records_ = 0;
+  u64 next_record_ = 0;
+  u64 buffer_first_ = 0;
+  std::vector<T> buffer_;
+};
+
+/// Convenience: write a whole span as a new file.
+template <Record T>
+void write_file(Disk& disk, const std::string& name, std::span<const T> data) {
+  BlockFile f = disk.create(name);
+  BlockWriter<T> w(f);
+  w.push_span(data);
+  w.flush();
+}
+
+/// Convenience: read a whole file into memory (tests / verification only —
+/// production paths stream).
+template <Record T>
+std::vector<T> read_file(Disk& disk, const std::string& name) {
+  BlockFile f = disk.open(name);
+  BlockReader<T> r(f);
+  std::vector<T> out(r.size_records());
+  const u64 got = r.read_span(std::span<T>(out));
+  PALADIN_ENSURES(got == out.size());
+  return out;
+}
+
+}  // namespace paladin::pdm

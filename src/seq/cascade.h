@@ -1,0 +1,261 @@
+// Cascade merge sort (Knuth TAOCP vol. 3, §5.4.3) — polyphase's classic
+// sibling and the third sequential external strategy.  Where polyphase
+// keeps every phase at full (T−1)-way order, a cascade pass performs a
+// descending cascade of sub-merges: a (T−1)-way merge until the smallest
+// tape empties, then a (T−2)-way merge onto the tape just freed, and so
+// on; the final "one-way merge" is the famous no-op — those runs simply
+// stay in place.  Initial runs are distributed by the cascade perfect
+// numbers (for T = 3 they coincide with polyphase's Fibonacci numbers).
+// Knuth shows cascade beats polyphase for larger T; bench_io_bound lets
+// you check where the crossover lands under the PDM cost model.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/contracts.h"
+#include "base/meter.h"
+#include "base/types.h"
+#include "pdm/typed_io.h"
+#include "seq/cursors.h"
+#include "seq/kway_merge.h"
+#include "seq/loser_tree.h"
+#include "seq/polyphase.h"  // reuses detail::Tape and run formation plumbing
+#include "seq/run_formation.h"
+
+namespace paladin::seq {
+
+struct CascadeConfig {
+  u64 memory_records = u64{1} << 20;
+  u32 tape_count = 6;  ///< cascade favours more tapes than polyphase
+  RunFormation run_formation = RunFormation::kLoadSortStore;
+};
+
+struct CascadeResult {
+  u64 records = 0;
+  u64 initial_runs = 0;
+  u64 dummy_runs = 0;
+  u64 merge_passes = 0;
+};
+
+namespace detail {
+
+/// Smallest perfect cascade distribution over `k` input tapes whose total
+/// covers `runs`: level ℓ+1 has b_j = a_1 + … + a_{k−j+1} (descending).
+inline std::vector<u64> cascade_distribution(u64 runs, u32 k) {
+  PALADIN_EXPECTS(k >= 2);
+  PALADIN_EXPECTS(runs >= 1);
+  std::vector<u64> a(k, 0);
+  a[0] = 1;
+  u64 total = 1;
+  while (total < runs) {
+    std::vector<u64> b(k);
+    for (u32 j = 0; j < k; ++j) {
+      u64 sum = 0;
+      for (u32 t = 0; t + j < k; ++t) sum += a[t];
+      b[j] = sum;
+    }
+    a = std::move(b);
+    total = std::accumulate(a.begin(), a.end(), u64{0});
+  }
+  return a;  // descending by construction
+}
+
+}  // namespace detail
+
+/// Sorts `input` into `output` on `disk` with the cascade schedule.
+/// Scratch files are named `output + ".ctape<i>"` / `".runs"` and removed
+/// on success.
+template <Record T, typename Less = std::less<T>>
+CascadeResult cascade_sort(pdm::Disk& disk, const std::string& input,
+                           const std::string& output,
+                           const CascadeConfig& config, Meter& meter,
+                           Less less = {}) {
+  PALADIN_EXPECTS(input != output);
+  PALADIN_EXPECTS(config.tape_count >= 3);
+  PALADIN_EXPECTS_MSG(
+      config.tape_count <= max_fan_in<T>(disk, config.memory_records) + 1,
+      "memory budget too small for the requested tape count");
+
+  CascadeResult result;
+
+  // ---- Run formation (same plumbing as polyphase) ---------------------
+  const std::string runs_name = output + ".runs";
+  RunLayout layout;
+  {
+    pdm::BlockFile in_file = disk.open(input);
+    pdm::BlockReader<T> reader(in_file);
+    pdm::BlockFile runs_file = disk.create(runs_name);
+    pdm::BlockWriter<T> writer(runs_file);
+    layout = form_runs<T, Less>(config.run_formation, reader, writer,
+                                config.memory_records, meter, less);
+  }
+  result.records = layout.total_records;
+  result.initial_runs = layout.run_count();
+
+  if (layout.run_count() <= 1) {
+    pdm::BlockFile src = disk.open(runs_name);
+    pdm::BlockReader<T> reader(src);
+    pdm::BlockFile dst = disk.create(output);
+    pdm::BlockWriter<T> writer(dst);
+    T v;
+    while (reader.next(v)) writer.push(v);
+    writer.flush();
+    disk.remove(runs_name);
+    return result;
+  }
+
+  // ---- Distribution by the cascade perfect numbers --------------------
+  const u32 k = config.tape_count - 1;
+  const std::vector<u64> target =
+      detail::cascade_distribution(layout.run_count(), k);
+
+  std::vector<std::unique_ptr<detail::Tape<T>>> tapes;
+  tapes.reserve(config.tape_count);
+  for (u32 i = 0; i < config.tape_count; ++i) {
+    tapes.push_back(std::make_unique<detail::Tape<T>>(
+        disk, output + ".ctape" + std::to_string(i)));
+  }
+  {
+    u64 total_target = std::accumulate(target.begin(), target.end(), u64{0});
+    u64 deficit = total_target - layout.run_count();
+    result.dummy_runs = deficit;
+    for (u32 j = 0; j < k && deficit > 0; ++j) {
+      const u64 d = std::min(deficit, target[j]);
+      tapes[j]->add_dummies(d);
+      deficit -= d;
+    }
+    PALADIN_ASSERT(deficit == 0);
+  }
+  {
+    pdm::BlockFile runs_file = disk.open(runs_name);
+    pdm::BlockReader<T> reader(runs_file);
+    u64 next_run = 0;
+    for (u32 j = 0; j < k; ++j) {
+      detail::Tape<T>& tape = *tapes[j];
+      const u64 real = target[j] - tape.dummies();
+      tape.begin_write();
+      for (u64 r = 0; r < real; ++r) {
+        const u64 len = layout.run_lengths[next_run++];
+        for (u64 i = 0; i < len; ++i) {
+          T v;
+          const bool ok = reader.next(v);
+          PALADIN_ASSERT(ok);
+          tape.writer().push(v);
+        }
+        tape.append_run_length(len);
+      }
+      tape.end_write();
+    }
+    PALADIN_ASSERT(next_run == layout.run_count());
+  }
+  disk.remove(runs_name);
+  tapes[k]->begin_write();  // free tape starts empty
+  tapes[k]->end_write();
+
+  // ---- Cascade passes ---------------------------------------------------
+  for (;;) {
+    // Order tapes by pending runs, descending (stable by index); the
+    // single empty tape is the pass's first output.
+    std::vector<u32> order(config.tape_count);
+    std::iota(order.begin(), order.end(), 0u);
+    std::stable_sort(order.begin(), order.end(), [&](u32 a, u32 b) {
+      return tapes[a]->runs_pending() > tapes[b]->runs_pending();
+    });
+    const u32 free_tape = order.back();
+    PALADIN_ASSERT(tapes[free_tape]->runs_pending() == 0);
+    std::vector<u32> inputs(order.begin(), order.end() - 1);  // t_1..t_p desc
+
+    // Final pass: every input tape holds exactly one run.
+    bool final_pass = true;
+    for (u32 t : inputs) {
+      if (tapes[t]->runs_pending() != 1) final_pass = false;
+    }
+
+    if (final_pass) {
+      std::vector<RunCursor<T>> cursors;
+      cursors.reserve(inputs.size());
+      for (u32 t : inputs) cursors.push_back(tapes[t]->take_front_run());
+      std::vector<RunCursor<T>*> sources;
+      for (auto& c : cursors) {
+        if (c.remaining() > 0) sources.push_back(&c);
+      }
+      PALADIN_ASSERT(!sources.empty());
+      LoserTree<T, RunCursor<T>, Less> tree(std::move(sources), less, &meter);
+      pdm::BlockFile out_file = disk.create(output);
+      pdm::BlockWriter<T> writer(out_file);
+      u64 merged = 0;
+      while (const T* top = tree.peek()) {
+        writer.push(*top);
+        tree.pop_discard();
+        ++merged;
+      }
+      writer.flush();
+      meter.on_moves(merged);
+      ++result.merge_passes;
+      break;
+    }
+
+    // Sub-merges: (p)-way x d_p onto the free tape, then (p−1)-way x
+    // (d_{p−1} − d_p) onto the tape that just emptied, and so on.  The
+    // last "1-way merge" is the cascade no-op: t_1's leftovers stay put.
+    const u32 p = static_cast<u32>(inputs.size());
+    std::vector<u64> d(p);
+    for (u32 i = 0; i < p; ++i) d[i] = tapes[inputs[i]]->runs_pending();
+
+    u32 out_index = free_tape;
+    for (u32 ways = p; ways >= 2; --ways) {
+      // Sub-merge of order `ways` runs until tape inputs[ways−1] drains:
+      // d[ways−1] − d[ways] steps (the term below the smallest is 0), each
+      // consuming one front run from inputs[0..ways−1].
+      const u64 times = d[ways - 1] - (ways < p ? d[ways] : 0);
+      if (times > 0) {
+        detail::Tape<T>& out_tape = *tapes[out_index];
+        out_tape.begin_write();
+        for (u64 s = 0; s < times; ++s) {
+          std::vector<RunCursor<T>> cursors;
+          cursors.reserve(ways);
+          for (u32 i = 0; i < ways; ++i) {
+            cursors.push_back(tapes[inputs[i]]->take_front_run());
+          }
+          std::vector<RunCursor<T>*> sources;
+          for (auto& c : cursors) {
+            if (c.remaining() > 0) sources.push_back(&c);
+          }
+          if (sources.empty()) {
+            out_tape.add_dummies(1);
+            continue;
+          }
+          LoserTree<T, RunCursor<T>, Less> tree(std::move(sources), less,
+                                                &meter);
+          u64 merged = 0;
+          while (const T* top = tree.peek()) {
+            out_tape.writer().push(*top);
+            tree.pop_discard();
+            ++merged;
+          }
+          meter.on_moves(merged);
+          out_tape.append_run_length(merged);
+        }
+        out_tape.end_write();
+      }
+      // The tape drained by this sub-merge becomes the next output (the
+      // telescoping d-differences guarantee it is empty by now).
+      out_index = inputs[ways - 1];
+      PALADIN_ASSERT(tapes[out_index]->runs_pending() == 0);
+    }
+    ++result.merge_passes;
+  }
+
+  for (u32 i = 0; i < config.tape_count; ++i) {
+    const std::string name = output + ".ctape" + std::to_string(i);
+    if (disk.exists(name)) disk.remove(name);
+  }
+  return result;
+}
+
+}  // namespace paladin::seq

@@ -1,0 +1,74 @@
+// Cursor types feeding the loser tree.  A cursor exposes peek()/advance()
+// over a sorted sequence: in memory (MemCursor), a whole file
+// (BlockReader already matches), or a length-limited segment of a file
+// (RunCursor — one run on a polyphase tape).
+#pragma once
+
+#include <span>
+
+#include "base/contracts.h"
+#include "base/types.h"
+#include "pdm/typed_io.h"
+
+namespace paladin::seq {
+
+/// Cursor over an in-memory span.
+template <Record T>
+class MemCursor {
+ public:
+  MemCursor() = default;
+  explicit MemCursor(std::span<const T> data) : data_(data) {}
+
+  const T* peek() const {
+    return index_ < data_.size() ? &data_[index_] : nullptr;
+  }
+  void advance() {
+    PALADIN_EXPECTS(index_ < data_.size());
+    ++index_;
+  }
+
+ private:
+  std::span<const T> data_;
+  std::size_t index_ = 0;
+};
+
+/// Cursor over the next `length` records of a BlockReader — one run on a
+/// tape that holds several runs back to back.  Several RunCursors may share
+/// one reader sequentially (never concurrently).
+template <Record T>
+class RunCursor {
+ public:
+  RunCursor() = default;
+  RunCursor(pdm::BlockReader<T>* reader, u64 length)
+      : reader_(reader), remaining_(length) {}
+
+  const T* peek() const {
+    return remaining_ > 0 ? reader_->peek() : nullptr;
+  }
+  void advance() {
+    PALADIN_EXPECTS(remaining_ > 0);
+    reader_->advance();
+    --remaining_;
+  }
+  u64 remaining() const { return remaining_; }
+
+ private:
+  pdm::BlockReader<T>* reader_ = nullptr;
+  u64 remaining_ = 0;
+};
+
+/// Cursor over a whole file through its own reader.
+template <Record T>
+class FileCursor {
+ public:
+  explicit FileCursor(pdm::BlockFile& file) : reader_(file) {}
+
+  const T* peek() { return reader_.peek(); }
+  void advance() { reader_.advance(); }
+  u64 size_records() const { return reader_.size_records(); }
+
+ private:
+  pdm::BlockReader<T> reader_;
+};
+
+}  // namespace paladin::seq

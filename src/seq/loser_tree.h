@@ -1,0 +1,131 @@
+// Tournament (loser) tree for k-way merging — the classic structure behind
+// every merge in this library (Knuth TAOCP vol. 3, §5.4.1).  Each pop costs
+// ⌈log2 k⌉ comparisons; exhausted sources act as +∞ sentinels.  Ties break
+// by source index, which makes every merge stable with respect to source
+// order and, more importantly, deterministic.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "base/contracts.h"
+#include "base/math_util.h"
+#include "base/meter.h"
+#include "base/types.h"
+
+namespace paladin::seq {
+
+/// Source must expose `const T* peek()` (nullptr when exhausted) and
+/// `void advance()`.
+template <Record T, typename Source, typename Less = std::less<T>>
+class LoserTree {
+ public:
+  /// Sources are referenced, not owned; they must outlive the tree.
+  explicit LoserTree(std::vector<Source*> sources, Less less = {},
+                     Meter* meter = nullptr)
+      : sources_(std::move(sources)), less_(less), meter_(meter) {
+    PALADIN_EXPECTS(!sources_.empty());
+    // Pad the leaf count to a power of two; padded leaves are permanently
+    // exhausted pseudo-sources.
+    k_ = 1;
+    while (k_ < sources_.size()) k_ *= 2;
+    tree_.assign(k_, kNone);
+    winner_ = build(1);
+    flush_meter();
+  }
+
+  LoserTree(const LoserTree&) = delete;
+  LoserTree& operator=(const LoserTree&) = delete;
+
+  /// Current minimum across all sources, nullptr when all are exhausted.
+  const T* peek() {
+    return winner_ < sources_.size() ? sources_[winner_]->peek() : nullptr;
+  }
+
+  /// Index of the source holding the current minimum.
+  std::size_t winner_index() const { return winner_; }
+
+  /// Removes and returns the minimum.  Precondition: peek() != nullptr.
+  T pop() {
+    const T* top = peek();
+    PALADIN_EXPECTS(top != nullptr);
+    T out = *top;
+    sources_[winner_]->advance();
+    replay(winner_);
+    flush_meter();
+    return out;
+  }
+
+  /// Consumes the minimum without copying it (caller already used peek()).
+  void pop_discard() {
+    PALADIN_EXPECTS(peek() != nullptr);
+    sources_[winner_]->advance();
+    replay(winner_);
+    flush_meter();
+  }
+
+  u64 comparisons() const { return compares_; }
+
+ private:
+  static constexpr std::size_t kNone = ~std::size_t{0};
+
+  const T* peek_source(std::size_t s) {
+    return s < sources_.size() ? sources_[s]->peek() : nullptr;
+  }
+
+  /// true when source a's head sorts strictly before source b's head
+  /// (exhausted == +∞; ties by index for stability).
+  bool source_less(std::size_t a, std::size_t b) {
+    const T* pa = peek_source(a);
+    const T* pb = peek_source(b);
+    if (pa == nullptr) return false;
+    if (pb == nullptr) return true;
+    ++compares_;
+    // One comparison resolves order-with-stable-ties: when a precedes b,
+    // a also wins ties, so a wins iff !(*pb < *pa); symmetrically otherwise.
+    return a < b ? !less_(*pb, *pa) : less_(*pa, *pb);
+  }
+
+  /// Builds the tree below internal node `node`; returns the winner
+  /// (source index) of that subtree and records losers on the path.
+  std::size_t build(std::size_t node) {
+    if (node >= k_) return node - k_;  // leaf → source index (maybe padded)
+    const std::size_t l = build(2 * node);
+    const std::size_t r = build(2 * node + 1);
+    if (source_less(l, r)) {
+      tree_[node] = r;
+      return l;
+    }
+    tree_[node] = l;
+    return r;
+  }
+
+  /// After the winner's source advanced, replays its path to the root.
+  void replay(std::size_t source) {
+    std::size_t cur = source;
+    for (std::size_t node = (k_ + source) / 2; node >= 1; node /= 2) {
+      if (tree_[node] != kNone && source_less(tree_[node], cur)) {
+        std::swap(cur, tree_[node]);
+      }
+    }
+    winner_ = cur;
+  }
+
+  void flush_meter() {
+    if (meter_ != nullptr && compares_ > reported_) {
+      meter_->on_compares(compares_ - reported_);
+      reported_ = compares_;
+    }
+  }
+
+  std::vector<Source*> sources_;
+  Less less_;
+  Meter* meter_;
+  std::size_t k_ = 0;
+  std::vector<std::size_t> tree_;  ///< loser at each internal node
+  std::size_t winner_ = kNone;
+  u64 compares_ = 0;
+  u64 reported_ = 0;
+};
+
+}  // namespace paladin::seq

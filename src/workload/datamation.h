@@ -1,0 +1,63 @@
+// Datamation/AlphaSort-style records: 100-byte records with a 10-byte
+// key — the canonical external-sort benchmark format of the paper's era.
+// Sorting these is bytes-bound rather than comparison-bound (25x the I/O
+// per comparison of the paper's 4-byte integers), which shifts the
+// bottleneck toward the disk model; bench_widerecords measures the shift.
+#pragma once
+
+#include <cstring>
+
+#include "base/rng.h"
+#include "base/types.h"
+#include "pdm/typed_io.h"
+
+namespace paladin::workload {
+
+struct DatamationRecord {
+  u8 key[10];
+  u8 payload[90];
+};
+static_assert(sizeof(DatamationRecord) == 100);
+
+/// Lexicographic order on the 10-byte key.
+struct DatamationLess {
+  bool operator()(const DatamationRecord& a, const DatamationRecord& b) const {
+    return std::memcmp(a.key, b.key, sizeof(a.key)) < 0;
+  }
+};
+
+/// Deterministic record at global position `index` of stream `seed`:
+/// random key, payload derived from the key (so corruption is detectable).
+inline DatamationRecord datamation_record(u64 seed, u64 index) {
+  DatamationRecord r;
+  Xoshiro256 rng(mix64(seed) ^ mix64(index));
+  for (auto& b : r.key) b = static_cast<u8>(rng.next_below(256));
+  for (std::size_t i = 0; i < sizeof(r.payload); ++i) {
+    r.payload[i] = static_cast<u8>(mix64(seed + i) ^ r.key[i % 10]);
+  }
+  return r;
+}
+
+/// Writes `count` records at global offset `offset` to a file.
+inline void write_datamation(pdm::Disk& disk, const std::string& name,
+                             u64 seed, u64 offset, u64 count) {
+  pdm::BlockFile f = disk.create(name);
+  pdm::BlockWriter<DatamationRecord> w(f);
+  for (u64 i = 0; i < count; ++i) {
+    w.push(datamation_record(seed, offset + i));
+  }
+  w.flush();
+}
+
+/// Payload integrity check: the payload must still match its key.
+inline bool datamation_intact(const DatamationRecord& r, u64 seed) {
+  for (std::size_t i = 0; i < sizeof(r.payload); ++i) {
+    if (r.payload[i] !=
+        static_cast<u8>(mix64(seed + i) ^ r.key[i % 10])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace paladin::workload

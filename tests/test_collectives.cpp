@@ -1,0 +1,120 @@
+// Tests of the collective algorithm families: binomial trees must deliver
+// exactly what the linear versions deliver, across cluster sizes (including
+// non-powers of two and roots ≠ 0), and must beat them on simulated
+// latency at larger p.
+#include <gtest/gtest.h>
+
+#include "net/cluster.h"
+
+namespace paladin::net {
+namespace {
+
+ClusterConfig with_algo(u32 p, CollectiveAlgo algo) {
+  ClusterConfig c = ClusterConfig::homogeneous(p);
+  c.collectives = algo;
+  c.cost = CostModel::free_compute();
+  return c;
+}
+
+class Binomial : public ::testing::TestWithParam<u32> {};
+
+TEST_P(Binomial, BcastValueMatchesLinearSemantics) {
+  const u32 p = GetParam();
+  for (u32 root = 0; root < p; root += (p > 3 ? 3 : 1)) {
+    Cluster cluster(with_algo(p, CollectiveAlgo::kBinomial));
+    auto out = cluster.run([&](NodeContext& ctx) -> u64 {
+      const u64 v = ctx.rank() == root ? 4242 : 0;
+      return ctx.comm().bcast_value<u64>(v, root);
+    });
+    for (u64 v : out.results) EXPECT_EQ(v, 4242u) << "p=" << p;
+  }
+}
+
+TEST_P(Binomial, BcastRecordsDeliversFullPayload) {
+  const u32 p = GetParam();
+  Cluster cluster(with_algo(p, CollectiveAlgo::kBinomial));
+  auto out = cluster.run([&](NodeContext& ctx) -> std::vector<u32> {
+    std::vector<u32> payload;
+    if (ctx.rank() == 0) {
+      for (u32 i = 0; i < 1000; ++i) payload.push_back(i * 3);
+    }
+    return ctx.comm().bcast_records<u32>(std::move(payload), 0);
+  });
+  for (const auto& v : out.results) {
+    ASSERT_EQ(v.size(), 1000u);
+    EXPECT_EQ(v[999], 2997u);
+  }
+}
+
+TEST_P(Binomial, AllReduceSumAndMax) {
+  const u32 p = GetParam();
+  Cluster cluster(with_algo(p, CollectiveAlgo::kBinomial));
+  auto out = cluster.run([&](NodeContext& ctx) -> std::pair<u64, double> {
+    const u64 sum = ctx.comm().allreduce_sum(ctx.rank() + 1ull);
+    const double mx =
+        ctx.comm().allreduce_max(static_cast<double>(ctx.rank()));
+    return {sum, mx};
+  });
+  const u64 expected_sum = u64{p} * (p + 1) / 2;
+  for (const auto& [sum, mx] : out.results) {
+    EXPECT_EQ(sum, expected_sum);
+    EXPECT_DOUBLE_EQ(mx, static_cast<double>(p - 1));
+  }
+}
+
+TEST_P(Binomial, BarrierSynchronisesClocks) {
+  const u32 p = GetParam();
+  Cluster cluster(with_algo(p, CollectiveAlgo::kBinomial));
+  auto out = cluster.run([&](NodeContext& ctx) -> double {
+    ctx.clock().advance(static_cast<double>(ctx.rank()));
+    ctx.comm().barrier();
+    return ctx.clock().now();
+  });
+  for (double t : out.results) {
+    EXPECT_GE(t, static_cast<double>(p - 1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ClusterSizes, Binomial,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 13, 16));
+
+TEST(BinomialLatency, TreeBeatsLinearBroadcastAtP16) {
+  auto time_of = [](CollectiveAlgo algo) {
+    Cluster cluster(with_algo(16, algo));
+    auto out = cluster.run([](NodeContext& ctx) -> int {
+      for (int i = 0; i < 10; ++i) {
+        ctx.comm().bcast_value<u64>(1, 0);
+        ctx.comm().barrier();
+      }
+      return 0;
+    });
+    return out.makespan;
+  };
+  const double linear = time_of(CollectiveAlgo::kLinear);
+  const double binomial = time_of(CollectiveAlgo::kBinomial);
+  EXPECT_LT(binomial, linear);
+  // 15 sequential sends vs 4 tree levels: expect a substantial gap.
+  EXPECT_GT(linear / binomial, 1.5);
+}
+
+TEST(BinomialInExtPsrs, FullSortWorksWithTreeCollectives) {
+  ClusterConfig config = ClusterConfig::homogeneous(8);
+  config.collectives = CollectiveAlgo::kBinomial;
+  Cluster cluster(config);
+  auto out = cluster.run([](NodeContext& ctx) -> u64 {
+    // allreduce_sum is used inside ext_psrs for n; just validate the
+    // collective composition in an SPMD body with mixed traffic.
+    const u64 n = ctx.comm().allreduce_sum(100);
+    std::vector<std::vector<u32>> outgoing(8);
+    for (u32 j = 0; j < 8; ++j) outgoing[j] = {ctx.rank() + j};
+    auto incoming = ctx.comm().alltoall_records<u32>(std::move(outgoing));
+    ctx.comm().barrier();
+    u64 sum = n;
+    for (const auto& v : incoming) sum += v.at(0);
+    return sum;
+  });
+  for (u64 v : out.results) EXPECT_GT(v, 800u);
+}
+
+}  // namespace
+}  // namespace paladin::net

@@ -1,0 +1,494 @@
+// Tests of the paper's algorithm: sampling/pivots, file partitioning,
+// redistribution, final merge, and the full external PSRS end-to-end over
+// the simulated cluster — including the PSRS load-balance bound and
+// determinism of the simulated execution time.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "base/checksum.h"
+#include "base/meter.h"
+#include "core/ext_psrs.h"
+#include "core/merge_files.h"
+#include "core/partition_file.h"
+#include "core/sampling.h"
+#include "core/verify.h"
+#include "hetero/perf_vector.h"
+#include "metrics/expansion.h"
+#include "net/cluster.h"
+#include "pdm/typed_io.h"
+#include "workload/generators.h"
+
+namespace paladin::core {
+namespace {
+
+using hetero::PerfVector;
+using net::Cluster;
+using net::ClusterConfig;
+using net::NodeContext;
+using workload::Dist;
+using workload::WorkloadSpec;
+
+pdm::DiskParams tiny_blocks() {
+  pdm::DiskParams p;
+  p.block_bytes = 64;
+  return p;
+}
+
+// ---------------------------------------------------------------------
+// Regular sampling
+// ---------------------------------------------------------------------
+
+TEST(Sampling, InMemoryMirrorsThePaperLoop) {
+  // size 8, off 2 → positions 1,3,5 (the paper's loop excludes the final
+  // stride).
+  std::vector<u32> sorted = {0, 1, 2, 3, 4, 5, 6, 7};
+  const auto s = draw_regular_sample<u32>(std::span<const u32>(sorted), 2);
+  EXPECT_EQ(s, (std::vector<u32>{1, 3, 5}));
+}
+
+TEST(Sampling, FileAndMemoryVariantsAgree) {
+  pdm::Disk disk = pdm::Disk::in_memory(tiny_blocks());
+  std::vector<u32> sorted(1000);
+  for (u32 i = 0; i < 1000; ++i) sorted[i] = 3 * i;
+  pdm::write_file<u32>(disk, "f", std::span<const u32>(sorted));
+  pdm::BlockFile f = disk.open("f");
+  pdm::BlockReader<u32> reader(f);
+  for (u64 off : {1ull, 7ull, 50ull, 999ull, 1000ull, 2000ull}) {
+    reader.seek_record(0);
+    EXPECT_EQ(draw_regular_sample<u32>(reader, off),
+              draw_regular_sample<u32>(std::span<const u32>(sorted), off))
+        << "off=" << off;
+  }
+}
+
+TEST(Sampling, CountMatchesPerfFormula) {
+  // Node with share l_i and stride off = l_i/(p·perf_i) contributes
+  // p·perf_i − 1 samples.
+  PerfVector perf({4, 4, 1, 1});
+  const u64 n = perf.admissible_size(50);
+  const u64 off = perf.sample_stride(n);
+  for (u32 i = 0; i < 4; ++i) {
+    std::vector<u32> sorted(perf.share(i, n));
+    const auto s = draw_regular_sample<u32>(std::span<const u32>(sorted), off);
+    EXPECT_EQ(s.size(), perf.sample_count(i, n)) << "node " << i;
+  }
+}
+
+TEST(Sampling, SelectPivotsHomogeneousQuartiles) {
+  PerfVector perf({1, 1, 1, 1});
+  // p*sum - p = 12 samples; pivots at indices 4j-1 = 3, 7 (j=1..3 → 3,7,11).
+  std::vector<u32> samples = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11};
+  NullMeter meter;
+  const auto pivots = select_pivots<u32>(samples, perf, meter);
+  EXPECT_EQ(pivots, (std::vector<u32>{3, 7, 11}));
+}
+
+TEST(Sampling, SelectPivotsPerfWeighted) {
+  PerfVector perf({3, 1});
+  // p=2, sum=4, q = 3/4 → rank = ⌊2·3·3/4⌋ + ⌊2·1·3/4⌋ = 4+1 = 5 → the
+  // 5th smallest sample.
+  std::vector<u32> samples = {10, 20, 30, 40, 50, 60};
+  NullMeter meter;
+  const auto pivots = select_pivots<u32>(samples, perf, meter);
+  EXPECT_EQ(pivots, std::vector<u32>{50});
+}
+
+TEST(Sampling, SelectPivotsRejectsTooFewSamples) {
+  PerfVector perf({1, 1, 1});
+  std::vector<u32> samples = {1, 2};  // need at least p = 3
+  NullMeter meter;
+  EXPECT_THROW(select_pivots<u32>(samples, perf, meter), ContractViolation);
+}
+
+TEST(Sampling, SelectPivotsClampsShortSampleLists) {
+  // Flooring can shave a sample; pivot indices clamp to the list end.
+  PerfVector perf({1, 1, 1, 1});
+  std::vector<u32> samples = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10};  // 11 not 12
+  NullMeter meter;
+  const auto pivots = select_pivots<u32>(samples, perf, meter);
+  EXPECT_EQ(pivots, (std::vector<u32>{3, 7, 10}));
+}
+
+// ---------------------------------------------------------------------
+// Partitioning a sorted file
+// ---------------------------------------------------------------------
+
+TEST(PartitionFile, SplitsAtPivotsWithTiesGoingLow) {
+  pdm::Disk disk = pdm::Disk::in_memory(tiny_blocks());
+  std::vector<u32> sorted = {1, 2, 5, 5, 5, 7, 9, 12};
+  pdm::write_file<u32>(disk, "s", std::span<const u32>(sorted));
+  std::vector<u32> pivots = {5, 9};
+  NullMeter meter;
+  const auto sizes = partition_sorted_file<u32>(disk, "s", "p",
+                                                std::span<const u32>(pivots),
+                                                meter);
+  // <=5 → part0 (1,2,5,5,5); <=9 → part1 (7,9); rest → part2 (12).
+  EXPECT_EQ(sizes, (std::vector<u64>{5, 2, 1}));
+  EXPECT_EQ(pdm::read_file<u32>(disk, "p.part0"),
+            (std::vector<u32>{1, 2, 5, 5, 5}));
+  EXPECT_EQ(pdm::read_file<u32>(disk, "p.part1"), (std::vector<u32>{7, 9}));
+  EXPECT_EQ(pdm::read_file<u32>(disk, "p.part2"), (std::vector<u32>{12}));
+}
+
+TEST(PartitionFile, EmptyPartitionsMaterialised) {
+  pdm::Disk disk = pdm::Disk::in_memory(tiny_blocks());
+  std::vector<u32> sorted = {1, 2};
+  pdm::write_file<u32>(disk, "s", std::span<const u32>(sorted));
+  std::vector<u32> pivots = {100, 200, 300};
+  NullMeter meter;
+  const auto sizes = partition_sorted_file<u32>(disk, "s", "p",
+                                                std::span<const u32>(pivots),
+                                                meter);
+  EXPECT_EQ(sizes, (std::vector<u64>{2, 0, 0, 0}));
+  for (u32 j = 0; j < 4; ++j) {
+    EXPECT_TRUE(disk.exists(partition_name("p", j))) << j;
+  }
+}
+
+TEST(PartitionFile, EmptyInput) {
+  pdm::Disk disk = pdm::Disk::in_memory(tiny_blocks());
+  pdm::write_file<u32>(disk, "s", std::span<const u32>());
+  std::vector<u32> pivots = {10};
+  NullMeter meter;
+  const auto sizes = partition_sorted_file<u32>(disk, "s", "p",
+                                                std::span<const u32>(pivots),
+                                                meter);
+  EXPECT_EQ(sizes, (std::vector<u64>{0, 0}));
+}
+
+TEST(PartitionFile, IoStaysWithinTwoQOverB) {
+  pdm::Disk disk = pdm::Disk::in_memory(tiny_blocks());
+  const u64 rpb = disk.params().records_per_block(sizeof(u32));
+  std::vector<u32> sorted(4000);
+  for (u32 i = 0; i < 4000; ++i) sorted[i] = i;
+  pdm::write_file<u32>(disk, "s", std::span<const u32>(sorted));
+  disk.reset_stats();
+  std::vector<u32> pivots = {1000, 2000, 3000};
+  NullMeter meter;
+  partition_sorted_file<u32>(disk, "s", "p", std::span<const u32>(pivots),
+                             meter);
+  // Paper Step 3: no more than 2·Q/B I/Os (+ one partial block per
+  // partition boundary).
+  EXPECT_LE(disk.stats().total_block_ios(), 2 * (4000 / rpb) + 4 + 1);
+}
+
+TEST(PartitionCuts, MatchUpperBounds) {
+  std::vector<u32> sorted = {1, 2, 5, 5, 5, 7, 9, 12};
+  std::vector<u32> pivots = {5, 9};
+  NullMeter meter;
+  const auto cuts = partition_cuts<u32>(std::span<const u32>(sorted),
+                                        std::span<const u32>(pivots), meter);
+  EXPECT_EQ(cuts, (std::vector<u64>{0, 5, 7, 8}));
+}
+
+// ---------------------------------------------------------------------
+// merge_sorted_files
+// ---------------------------------------------------------------------
+
+TEST(MergeFiles, SinglePassMergesInOrder) {
+  pdm::Disk disk = pdm::Disk::in_memory(tiny_blocks());
+  std::vector<u32> a = {1, 4, 7}, b = {2, 5, 8}, c = {3, 6, 9};
+  pdm::write_file<u32>(disk, "a", std::span<const u32>(a));
+  pdm::write_file<u32>(disk, "b", std::span<const u32>(b));
+  pdm::write_file<u32>(disk, "c", std::span<const u32>(c));
+  NullMeter meter;
+  const u64 merged =
+      merge_sorted_files<u32>(disk, {"a", "b", "c"}, "out", 1024, meter);
+  EXPECT_EQ(merged, 9u);
+  EXPECT_EQ(pdm::read_file<u32>(disk, "out"),
+            (std::vector<u32>{1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+TEST(MergeFiles, FallsBackToMultiPassOnTinyMemory) {
+  pdm::Disk disk = pdm::Disk::in_memory(tiny_blocks());
+  // 8 files but memory of only 3 blocks → fan-in 2, multi-pass.
+  std::vector<std::string> names;
+  std::vector<u32> expected;
+  for (u32 f = 0; f < 8; ++f) {
+    std::vector<u32> data;
+    for (u32 i = 0; i < 50; ++i) data.push_back(f + 8 * i);
+    names.push_back("f" + std::to_string(f));
+    pdm::write_file<u32>(disk, names.back(), std::span<const u32>(data));
+    expected.insert(expected.end(), data.begin(), data.end());
+  }
+  std::sort(expected.begin(), expected.end());
+  NullMeter meter;
+  const u64 rpb = disk.params().records_per_block(sizeof(u32));
+  const u64 merged = merge_sorted_files<u32>(disk, names, "out", 3 * rpb,
+                                             meter);
+  EXPECT_EQ(merged, 400u);
+  EXPECT_EQ(pdm::read_file<u32>(disk, "out"), expected);
+}
+
+TEST(MergeFiles, EmptyInputsProduceEmptyOutput) {
+  pdm::Disk disk = pdm::Disk::in_memory(tiny_blocks());
+  pdm::write_file<u32>(disk, "a", std::span<const u32>());
+  pdm::write_file<u32>(disk, "b", std::span<const u32>());
+  NullMeter meter;
+  EXPECT_EQ(merge_sorted_files<u32>(disk, {"a", "b"}, "out", 1024, meter), 0u);
+  EXPECT_EQ(disk.file_records<u32>("out"), 0u);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end external PSRS over the simulated cluster
+// ---------------------------------------------------------------------
+
+struct E2ECase {
+  std::vector<u32> perf;
+  Dist dist;
+  u64 k;  ///< Equation-2 multiplier: n = k·Σperf·lcm
+};
+
+void PrintTo(const E2ECase& c, std::ostream* os) {
+  *os << workload::to_string(c.dist) << "_p" << c.perf.size() << "_k" << c.k;
+}
+
+class ExtPsrsE2E : public ::testing::TestWithParam<E2ECase> {};
+
+TEST_P(ExtPsrsE2E, SortsPermutesAndBalances) {
+  const E2ECase& param = GetParam();
+  PerfVector perf(param.perf);
+  const u64 n = perf.admissible_size(param.k);
+
+  ClusterConfig config;
+  config.perf = param.perf;
+  config.disk = tiny_blocks();
+  config.seed = 1000 + param.k;
+  Cluster cluster(config);
+
+  WorkloadSpec spec;
+  spec.dist = param.dist;
+  spec.total_records = n;
+  spec.node_count = perf.node_count();
+  spec.seed = 77;
+
+  struct NodeResult {
+    ExtPsrsReport report;
+    bool sorted;
+    bool permuted;
+  };
+
+  auto outcome = cluster.run([&](NodeContext& ctx) -> NodeResult {
+    const u64 share = perf.share(ctx.rank(), n);
+    const u64 offset = perf.share_offset(ctx.rank(), n);
+    workload::write_share(spec, ctx.rank(), offset, share, ctx.disk(),
+                          "input");
+    const MultisetChecksum before =
+        file_checksum<DefaultKey>(ctx.disk(), "input");
+
+    ExtPsrsConfig psrs;
+    psrs.sequential.memory_records = 512;
+    psrs.sequential.tape_count = 5;
+    psrs.sequential.allow_in_memory = false;
+    psrs.message_records = 64;
+    const ExtPsrsReport report =
+        ext_psrs_sort<DefaultKey>(ctx, perf, psrs);
+
+    NodeResult r;
+    r.report = report;
+    r.sorted = verify_global_order<DefaultKey>(ctx, "sorted");
+    r.permuted = verify_global_permutation<DefaultKey>(ctx, before, "sorted");
+    return r;
+  });
+
+  std::vector<u64> final_sizes, shares;
+  u64 total_final = 0;
+  for (u32 i = 0; i < perf.node_count(); ++i) {
+    const NodeResult& r = outcome.results[i];
+    EXPECT_TRUE(r.sorted) << "node " << i;
+    EXPECT_TRUE(r.permuted) << "node " << i;
+    EXPECT_EQ(r.report.local_records, perf.share(i, n));
+    final_sizes.push_back(r.report.final_records);
+    shares.push_back(r.report.local_records);
+    total_final += r.report.final_records;
+  }
+  EXPECT_EQ(total_final, n);
+
+  // PSRS bound: 2·l_i, with slack d for the duplicate-heavy inputs.
+  u64 slack = 0;
+  if (param.dist == Dist::kZero) slack = n;  // one key, d = n
+  if (param.dist == Dist::kDuplicates) slack = n / 2;
+  EXPECT_TRUE(metrics::within_psrs_bound(final_sizes, shares, slack))
+      << "final sizes violate the PSRS bound";
+
+  EXPECT_GT(outcome.makespan, 0.0);
+}
+
+std::vector<E2ECase> e2e_cases() {
+  std::vector<E2ECase> cases;
+  const std::vector<std::vector<u32>> perfs = {
+      {1, 1, 1, 1}, {4, 4, 1, 1}, {8, 5, 3, 1}, {2, 1}, {1, 1, 1, 1, 1, 1, 1, 1}};
+  for (const auto& perf : perfs) {
+    for (Dist dist : workload::kAllBenchmarks) {
+      cases.push_back(E2ECase{perf, dist, 25});
+    }
+  }
+  // Duplicates + almost-sorted generators plus small-k edge sizes on the
+  // testbed shape.
+  cases.push_back(E2ECase{{4, 4, 1, 1}, Dist::kDuplicates, 25});
+  cases.push_back(E2ECase{{4, 4, 1, 1}, Dist::kAlmostSorted, 25});
+  cases.push_back(E2ECase{{1, 1, 1, 1}, Dist::kAlmostSorted, 25});
+  cases.push_back(E2ECase{{4, 4, 1, 1}, Dist::kUniform, 1});
+  cases.push_back(E2ECase{{4, 4, 1, 1}, Dist::kUniform, 2});
+  cases.push_back(E2ECase{{3, 2, 1}, Dist::kUniform, 40});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ExtPsrsE2E, ::testing::ValuesIn(e2e_cases()));
+
+TEST(ExtPsrs, UniformLoadBalanceIsTight) {
+  // On uniform data the measured sublist expansion should be close to 1
+  // (the paper observes ~1.003–1.094).
+  PerfVector perf({4, 4, 1, 1});
+  const u64 n = perf.admissible_size(200);  // 8000 records
+
+  ClusterConfig config;
+  config.perf = {4, 4, 1, 1};
+  config.disk = tiny_blocks();
+  Cluster cluster(config);
+
+  WorkloadSpec spec{Dist::kUniform, n, 4, 11};
+  auto outcome = cluster.run([&](NodeContext& ctx) -> u64 {
+    workload::write_share(spec, ctx.rank(),
+                          perf.share_offset(ctx.rank(), n),
+                          perf.share(ctx.rank(), n), ctx.disk(), "input");
+    ExtPsrsConfig psrs;
+    psrs.sequential.memory_records = 512;
+    psrs.sequential.allow_in_memory = false;
+    psrs.sequential.tape_count = 5;
+    return ext_psrs_sort<DefaultKey>(ctx, perf, psrs).final_records;
+  });
+
+  const double expansion =
+      metrics::sublist_expansion(std::span<const u64>(outcome.results), perf);
+  EXPECT_LT(expansion, 1.25);
+  EXPECT_GE(expansion, 1.0);
+}
+
+TEST(ExtPsrs, DeterministicMakespan) {
+  PerfVector perf({4, 4, 1, 1});
+  const u64 n = perf.admissible_size(30);
+  auto run_once = [&] {
+    ClusterConfig config;
+    config.perf = {4, 4, 1, 1};
+    config.disk = tiny_blocks();
+    Cluster cluster(config);
+    WorkloadSpec spec{Dist::kUniform, n, 4, 5};
+    auto outcome = cluster.run([&](NodeContext& ctx) -> int {
+      workload::write_share(spec, ctx.rank(),
+                            perf.share_offset(ctx.rank(), n),
+                            perf.share(ctx.rank(), n), ctx.disk(), "input");
+      ExtPsrsConfig psrs;
+      psrs.sequential.memory_records = 256;
+      psrs.sequential.tape_count = 4;
+      psrs.sequential.allow_in_memory = false;
+      ext_psrs_sort<DefaultKey>(ctx, perf, psrs);
+      return 0;
+    });
+    return outcome.makespan;
+  };
+  const double first = run_once();
+  EXPECT_GT(first, 0.0);
+  for (int i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(run_once(), first);
+}
+
+TEST(ExtPsrs, RejectsNonAdmissibleInput) {
+  PerfVector perf({2, 1});
+  ClusterConfig config;
+  config.perf = {2, 1};
+  config.disk = tiny_blocks();
+  Cluster cluster(config);
+  EXPECT_THROW(
+      cluster.run([&](NodeContext& ctx) -> int {
+        // 7 records on each node: total 14 is not a multiple of
+        // sum*lcm = 6, and shares are not perf-proportional.
+        std::vector<DefaultKey> data(7, 1);
+        pdm::write_file<DefaultKey>(ctx.disk(), "input",
+                                    std::span<const DefaultKey>(data));
+        ExtPsrsConfig psrs;
+        ext_psrs_sort<DefaultKey>(ctx, perf, psrs);
+        return 0;
+      }),
+      ContractViolation);
+}
+
+TEST(ExtPsrs, HeterogeneousBeatsHomogeneousOnSkewedCluster) {
+  // The paper's Table 3 headline: with two 4x nodes and two loaded nodes,
+  // perf-aware distribution roughly halves the execution time versus
+  // treating the cluster as homogeneous.
+  auto run_with = [&](const PerfVector& algo_perf) {
+    ClusterConfig config;
+    config.perf = {4, 4, 1, 1};  // true machine speeds
+    config.disk = tiny_blocks();
+    Cluster cluster(config);
+    const u64 n = algo_perf.round_up_admissible(8000);  // same n both ways
+    WorkloadSpec spec{Dist::kUniform, n, 4, 9};
+    auto outcome = cluster.run([&](NodeContext& ctx) -> int {
+      workload::write_share(spec, ctx.rank(),
+                            algo_perf.share_offset(ctx.rank(), n),
+                            algo_perf.share(ctx.rank(), n), ctx.disk(),
+                            "input");
+      ExtPsrsConfig psrs;
+      psrs.sequential.memory_records = 512;
+      psrs.sequential.tape_count = 5;
+      psrs.sequential.allow_in_memory = false;
+      ext_psrs_sort<DefaultKey>(ctx, algo_perf, psrs);
+      return 0;
+    });
+    return outcome.makespan;
+  };
+  const double homo = run_with(PerfVector({1, 1, 1, 1}));
+  const double hetero = run_with(PerfVector({4, 4, 1, 1}));
+  EXPECT_LT(hetero, homo);
+  EXPECT_GT(homo / hetero, 1.5);  // paper: 303.9/155.4 ≈ 1.96
+}
+
+
+TEST(ExtPsrs, SingleNodeClusterDegeneratesToSequentialSort) {
+  PerfVector perf({3});
+  const u64 n = 3000;
+  ClusterConfig config;
+  config.perf = {3};
+  config.disk = tiny_blocks();
+  Cluster cluster(config);
+  WorkloadSpec spec{Dist::kUniform, n, 1, 2};
+  auto outcome = cluster.run([&](NodeContext& ctx) -> ExtPsrsReport {
+    workload::write_share(spec, 0, 0, n, ctx.disk(), "input");
+    ExtPsrsConfig psrs;
+    psrs.sequential.memory_records = 256;
+    psrs.sequential.tape_count = 4;
+    psrs.sequential.allow_in_memory = false;
+    const auto report = ext_psrs_sort<DefaultKey>(ctx, perf, psrs);
+    EXPECT_TRUE(is_sorted_file<DefaultKey>(ctx.disk(), "sorted"));
+    return report;
+  });
+  EXPECT_EQ(outcome.results[0].final_records, n);
+  EXPECT_EQ(outcome.results[0].local_records, n);
+}
+
+TEST(ExtPsrs, NonzeroDesignatedNodeSelectsPivots) {
+  PerfVector perf({2, 1, 1});
+  const u64 n = perf.round_up_admissible(4000);
+  ClusterConfig config;
+  config.perf = {2, 1, 1};
+  config.disk = tiny_blocks();
+  Cluster cluster(config);
+  WorkloadSpec spec{Dist::kUniform, n, 3, 6};
+  auto outcome = cluster.run([&](NodeContext& ctx) -> bool {
+    workload::write_share(spec, ctx.rank(), perf.share_offset(ctx.rank(), n),
+                          perf.share(ctx.rank(), n), ctx.disk(), "input");
+    ExtPsrsConfig psrs;
+    psrs.sequential.memory_records = 256;
+    psrs.sequential.tape_count = 4;
+    psrs.sequential.allow_in_memory = false;
+    psrs.designated_node = 2;
+    ext_psrs_sort<DefaultKey>(ctx, perf, psrs);
+    return verify_global_order<DefaultKey>(ctx, "sorted");
+  });
+  for (bool ok : outcome.results) EXPECT_TRUE(ok);
+}
+
+}  // namespace
+}  // namespace paladin::core

@@ -1,0 +1,96 @@
+// Tests of the metrics layer: sublist expansion (homogeneous and
+// perf-weighted), the PSRS bound predicate and the table renderer.
+#include <gtest/gtest.h>
+
+#include "hetero/perf_vector.h"
+#include "metrics/expansion.h"
+#include "metrics/table.h"
+
+namespace paladin::metrics {
+namespace {
+
+using hetero::PerfVector;
+
+TEST(Expansion, PerfectHomogeneousBalanceIsOne) {
+  const u64 sizes[] = {100, 100, 100, 100};
+  EXPECT_DOUBLE_EQ(sublist_expansion(sizes), 1.0);
+  EXPECT_DOUBLE_EQ(sublist_expansion(sizes, PerfVector({1, 1, 1, 1})), 1.0);
+}
+
+TEST(Expansion, HomogeneousSkewMeasured) {
+  const u64 sizes[] = {200, 100, 50, 50};
+  // max/mean = 200/100 = 2.
+  EXPECT_DOUBLE_EQ(sublist_expansion(sizes), 2.0);
+}
+
+TEST(Expansion, PerfWeightedPerfectBalance) {
+  // Shares exactly proportional to {4,4,1,1} → expansion 1.
+  const u64 sizes[] = {400, 400, 100, 100};
+  EXPECT_DOUBLE_EQ(sublist_expansion(sizes, PerfVector({4, 4, 1, 1})), 1.0);
+  // The homogeneous metric would report 400/250 = 1.6 for the same sizes.
+  EXPECT_DOUBLE_EQ(sublist_expansion(sizes), 1.6);
+}
+
+TEST(Expansion, PerfWeightedDetectsOverloadedSlowNode) {
+  // Slow node (perf 1) holding 200 of 1000 with sum=10: optimal unit is
+  // 100, weighted max is 200 → expansion 2.
+  const u64 sizes[] = {400, 300, 200, 100};
+  EXPECT_DOUBLE_EQ(sublist_expansion(sizes, PerfVector({4, 4, 1, 1})), 2.0);
+}
+
+TEST(Expansion, EmptyTotalIsNeutral) {
+  const u64 sizes[] = {0, 0};
+  EXPECT_DOUBLE_EQ(sublist_expansion(sizes), 1.0);
+  EXPECT_DOUBLE_EQ(sublist_expansion(sizes, PerfVector({2, 1})), 1.0);
+}
+
+TEST(Expansion, SizeMismatchRejected) {
+  const u64 sizes[] = {1, 2, 3};
+  EXPECT_THROW(sublist_expansion(sizes, PerfVector({1, 1})),
+               ContractViolation);
+}
+
+TEST(PsrsBound, AcceptsWithinTwoX) {
+  const u64 finals[] = {150, 90};
+  const u64 shares[] = {100, 100};
+  EXPECT_TRUE(within_psrs_bound(finals, shares));
+}
+
+TEST(PsrsBound, RejectsBeyondTwoX) {
+  const u64 finals[] = {201, 90};
+  const u64 shares[] = {100, 100};
+  EXPECT_FALSE(within_psrs_bound(finals, shares));
+}
+
+TEST(PsrsBound, DuplicateSlackExtendsBound) {
+  const u64 finals[] = {230, 90};
+  const u64 shares[] = {100, 100};
+  EXPECT_FALSE(within_psrs_bound(finals, shares));
+  EXPECT_TRUE(within_psrs_bound(finals, shares, 30));
+}
+
+TEST(TextTable, RendersHeadersRowsAndCaptions) {
+  TextTable t({"name", "value"});
+  t.add_caption("Section A");
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "2.50"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("Section A"), std::string::npos);
+  EXPECT_NE(s.find("longer-name"), std::string::npos);
+  EXPECT_NE(s.find("2.50"), std::string::npos);
+}
+
+TEST(TextTable, RowArityEnforced) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+}
+
+TEST(TextTable, NumberFormatting) {
+  EXPECT_EQ(TextTable::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::fmt(3.14159, 4), "3.1416");
+  EXPECT_EQ(TextTable::fmt(u64{123456}), "123456");
+}
+
+}  // namespace
+}  // namespace paladin::metrics

@@ -1,0 +1,412 @@
+// Theory-level tests of the sequential machinery: polyphase phase counts
+// against the generalised-Fibonacci schedule, comparison-count envelopes,
+// custom orderings, and metering exactness.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "base/meter.h"
+#include "base/rng.h"
+#include "pdm/typed_io.h"
+#include "seq/counting.h"
+#include "seq/cursors.h"
+#include "seq/external_sort.h"
+#include "seq/loser_tree.h"
+#include "seq/cascade.h"
+#include "seq/polyphase.h"
+
+namespace paladin::seq {
+namespace {
+
+pdm::DiskParams tiny_blocks() {
+  pdm::DiskParams p;
+  p.block_bytes = 64;
+  return p;
+}
+
+std::vector<u32> random_keys(u64 n, u64 seed) {
+  Xoshiro256 rng(seed);
+  std::vector<u32> v(n);
+  for (auto& x : v) x = static_cast<u32>(rng.next());
+  return v;
+}
+
+// ---------------------------------------------------------------------
+// Polyphase phase counts follow the Fibonacci schedule
+// ---------------------------------------------------------------------
+
+TEST(PolyphaseTheory, PhaseCountMatchesFibonacciLevels) {
+  // With 3 tapes (2-way merges), R initial runs need exactly the number
+  // of phases it takes the Fibonacci perfect distributions to reach R:
+  // totals 1, 2, 3, 5, 8, 13, ... → levels 0, 1, 2, 3, 4, 5.
+  struct Case {
+    u64 runs;
+    u64 phases;
+  };
+  // level L reaches total F(L+2); merging back down needs L phases.
+  const Case cases[] = {{2, 1}, {3, 2}, {4, 3}, {5, 3}, {6, 4},
+                        {8, 4}, {9, 5}, {13, 5}, {20, 6}, {21, 6}};
+  for (const Case& c : cases) {
+    pdm::Disk disk = pdm::Disk::in_memory(tiny_blocks());
+    const u64 memory = 16;  // one block per run load
+    const auto input = random_keys(c.runs * memory, c.runs);
+    pdm::write_file<u32>(disk, "in", std::span<const u32>(input));
+
+    PolyphaseConfig config;
+    config.memory_records = memory;
+    config.tape_count = 3;
+    NullMeter meter;
+    const auto result = polyphase_sort<u32>(disk, "in", "out", config, meter);
+    EXPECT_EQ(result.initial_runs, c.runs);
+    EXPECT_EQ(result.merge_phases, c.phases) << "runs=" << c.runs;
+
+    auto expected = input;
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(pdm::read_file<u32>(disk, "out"), expected);
+  }
+}
+
+TEST(PolyphaseTheory, HigherOrderTapesNeedFewerPhases) {
+  const u64 memory = 16;
+  const u64 runs = 60;
+  const auto input = random_keys(runs * memory, 17);
+  u64 previous_phases = ~u64{0};
+  for (u32 tapes : {3u, 4u, 6u, 10u}) {
+    pdm::Disk disk = pdm::Disk::in_memory(tiny_blocks());
+    pdm::write_file<u32>(disk, "in", std::span<const u32>(input));
+    PolyphaseConfig config;
+    config.memory_records = 16 * tapes;  // keep tapes affordable
+    config.tape_count = tapes;
+    NullMeter meter;
+    const auto result = polyphase_sort<u32>(disk, "in", "out", config, meter);
+    EXPECT_LE(result.merge_phases, previous_phases) << "tapes=" << tapes;
+    previous_phases = result.merge_phases;
+  }
+}
+
+TEST(PolyphaseTheory, DummyRunsAccountForTheDeficit) {
+  // R runs padded to the next perfect total: 7 runs on 3 tapes → perfect
+  // total 8, one dummy.
+  pdm::Disk disk = pdm::Disk::in_memory(tiny_blocks());
+  const u64 memory = 16;
+  const auto input = random_keys(7 * memory, 3);
+  pdm::write_file<u32>(disk, "in", std::span<const u32>(input));
+  PolyphaseConfig config;
+  config.memory_records = memory;
+  config.tape_count = 3;
+  NullMeter meter;
+  const auto result = polyphase_sort<u32>(disk, "in", "out", config, meter);
+  EXPECT_EQ(result.initial_runs, 7u);
+  EXPECT_EQ(result.dummy_runs, 1u);
+}
+
+TEST(PolyphaseTheory, CustomComparatorDescending) {
+  pdm::Disk disk = pdm::Disk::in_memory(tiny_blocks());
+  const auto input = random_keys(3000, 4);
+  pdm::write_file<u32>(disk, "in", std::span<const u32>(input));
+  PolyphaseConfig config;
+  config.memory_records = 64;
+  config.tape_count = 4;
+  NullMeter meter;
+  auto desc = [](u32 a, u32 b) { return a > b; };
+  polyphase_sort<u32, decltype(desc)>(disk, "in", "out", config, meter, desc);
+  const auto output = pdm::read_file<u32>(disk, "out");
+  EXPECT_TRUE(std::is_sorted(output.rbegin(), output.rend()));
+  EXPECT_EQ(output.size(), input.size());
+}
+
+TEST(PolyphaseTheory, SortsU64Records) {
+  pdm::Disk disk = pdm::Disk::in_memory(tiny_blocks());
+  Xoshiro256 rng(6);
+  std::vector<u64> input(2000);
+  for (auto& x : input) x = rng.next();
+  pdm::write_file<u64>(disk, "in", std::span<const u64>(input));
+  PolyphaseConfig config;
+  config.memory_records = 64;
+  config.tape_count = 4;
+  NullMeter meter;
+  polyphase_sort<u64>(disk, "in", "out", config, meter);
+  auto expected = input;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(pdm::read_file<u64>(disk, "out"), expected);
+}
+
+// ---------------------------------------------------------------------
+// Comparison-count envelopes
+// ---------------------------------------------------------------------
+
+TEST(Metering, MeteredSortComparisonsWithinIntrosortEnvelope) {
+  std::vector<u32> data = random_keys(10000, 8);
+  CountingMeter meter;
+  metered_sort(std::span<u32>(data), meter);
+  const double n = 10000;
+  // introsort: >= n-1 (already-sorted floor is ~n log n for random, but
+  // never below n-1), <= ~3 n log2 n.
+  EXPECT_GE(meter.compares, static_cast<u64>(n) - 1);
+  EXPECT_LE(meter.compares,
+            static_cast<u64>(3.0 * n * std::log2(n)));
+  EXPECT_EQ(meter.moves, 10000u);
+}
+
+TEST(Metering, ExternalSortChargesScaleWithInput) {
+  // Total charged comparisons should grow superlinearly but within
+  // c·n·log2(n); and identical runs charge identical counts.
+  auto run_count = [](u64 n) {
+    pdm::Disk disk = pdm::Disk::in_memory(tiny_blocks());
+    const auto input = random_keys(n, 42);
+    pdm::write_file<u32>(disk, "in", std::span<const u32>(input));
+    ExternalSortConfig config;
+    config.memory_records = 64;
+    config.tape_count = 4;
+    config.allow_in_memory = false;
+    CountingMeter meter;
+    external_sort<u32>(disk, "in", "out", config, meter);
+    return meter.compares;
+  };
+  const u64 small = run_count(2000);
+  const u64 big = run_count(8000);
+  EXPECT_GT(big, 4 * small * 9 / 10);  // at least ~linear growth
+  EXPECT_LT(big, 8 * small);           // far below quadratic
+  EXPECT_EQ(run_count(2000), small);   // deterministic metering
+}
+
+TEST(Metering, LoserTreeComparisonsPerPopAreLogK) {
+  const u64 k = 16, per_run = 1000;
+  std::vector<std::vector<u32>> runs(k);
+  for (u64 i = 0; i < k; ++i) {
+    runs[i] = random_keys(per_run, i);
+    std::sort(runs[i].begin(), runs[i].end());
+  }
+  std::vector<MemCursor<u32>> cursors;
+  cursors.reserve(k);
+  for (auto& r : runs) cursors.emplace_back(std::span<const u32>(r));
+  std::vector<MemCursor<u32>*> sources;
+  for (auto& c : cursors) sources.push_back(&c);
+  CountingMeter meter;
+  LoserTree<u32, MemCursor<u32>> tree(std::move(sources), {}, &meter);
+  while (tree.peek()) tree.pop_discard();
+  const u64 pops = k * per_run;
+  // Exactly log2(16) = 4 comparisons per replay (plus k-1 to build).
+  EXPECT_LE(meter.compares, pops * 4 + k);
+  EXPECT_GE(meter.compares, pops * 2);
+}
+
+// ---------------------------------------------------------------------
+// LoserTree over file-backed cursors
+// ---------------------------------------------------------------------
+
+TEST(LoserTreeFiles, MergesBlockReaderSources) {
+  pdm::Disk disk = pdm::Disk::in_memory(tiny_blocks());
+  std::vector<u32> expected;
+  std::vector<pdm::BlockFile> files;
+  std::vector<pdm::BlockReader<u32>> readers;
+  files.reserve(5);
+  readers.reserve(5);
+  for (u32 f = 0; f < 5; ++f) {
+    std::vector<u32> run;
+    for (u32 i = 0; i < 100; ++i) run.push_back(f + 5 * i);
+    expected.insert(expected.end(), run.begin(), run.end());
+    pdm::write_file<u32>(disk, "r" + std::to_string(f),
+                         std::span<const u32>(run));
+    files.push_back(disk.open("r" + std::to_string(f)));
+    readers.emplace_back(files.back());
+  }
+  std::sort(expected.begin(), expected.end());
+
+  std::vector<pdm::BlockReader<u32>*> sources;
+  for (auto& r : readers) sources.push_back(&r);
+  LoserTree<u32, pdm::BlockReader<u32>> tree(std::move(sources));
+  std::vector<u32> out;
+  while (tree.peek()) out.push_back(tree.pop());
+  EXPECT_EQ(out, expected);
+}
+
+// ---------------------------------------------------------------------
+// Edge sizes through the facade
+// ---------------------------------------------------------------------
+
+TEST(ExternalSortEdges, OneAndTwoRecordFiles) {
+  for (u64 n : {u64{1}, u64{2}}) {
+    pdm::Disk disk = pdm::Disk::in_memory(tiny_blocks());
+    std::vector<u32> input(n, 5u);
+    if (n == 2) input[0] = 9;
+    pdm::write_file<u32>(disk, "in", std::span<const u32>(input));
+    ExternalSortConfig config;
+    config.memory_records = 16;
+    config.tape_count = 3;
+    config.allow_in_memory = false;
+    NullMeter meter;
+    external_sort<u32>(disk, "in", "out", config, meter);
+    auto expected = input;
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(pdm::read_file<u32>(disk, "out"), expected) << n;
+  }
+}
+
+TEST(ExternalSortEdges, MemoryExactlyEqualToInput) {
+  pdm::Disk disk = pdm::Disk::in_memory(tiny_blocks());
+  const auto input = random_keys(256, 2);
+  pdm::write_file<u32>(disk, "in", std::span<const u32>(input));
+  ExternalSortConfig config;
+  config.memory_records = 256;
+  config.tape_count = 3;
+  config.allow_in_memory = false;  // force the external path anyway
+  NullMeter meter;
+  const auto result = external_sort<u32>(disk, "in", "out", config, meter);
+  EXPECT_EQ(result.initial_runs, 1u);
+  auto expected = input;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(pdm::read_file<u32>(disk, "out"), expected);
+}
+
+TEST(ExternalSortEdges, TapeCountClampedToMemory) {
+  // 15 tapes requested but only 4 blocks of memory: the facade clamps
+  // instead of rejecting.
+  pdm::Disk disk = pdm::Disk::in_memory(tiny_blocks());
+  const auto input = random_keys(2000, 3);
+  pdm::write_file<u32>(disk, "in", std::span<const u32>(input));
+  ExternalSortConfig config;
+  config.memory_records = 64;  // 4 blocks of 16
+  config.tape_count = 15;
+  config.allow_in_memory = false;
+  NullMeter meter;
+  EXPECT_NO_THROW(external_sort<u32>(disk, "in", "out", config, meter));
+  auto expected = input;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(pdm::read_file<u32>(disk, "out"), expected);
+}
+
+
+// ---------------------------------------------------------------------
+// Linear space: peak live bytes stay within a small constant of the input
+// ---------------------------------------------------------------------
+
+TEST(LinearSpace, PolyphasePeakFootprintIsLinear) {
+  pdm::Disk disk = pdm::Disk::in_memory(tiny_blocks());
+  const u64 n = 20000;
+  const auto input = random_keys(n, 33);
+  pdm::write_file<u32>(disk, "in", std::span<const u32>(input));
+
+  // Sample the live footprint on every block transfer via the cost sink.
+  u64 peak = 0;
+  disk.set_cost_sink([&](double) { peak = std::max(peak, disk.live_bytes()); });
+
+  ExternalSortConfig config;
+  config.memory_records = 256;
+  config.tape_count = 5;
+  config.allow_in_memory = false;
+  NullMeter meter;
+  external_sort<u32>(disk, "in", "out", config, meter);
+
+  const u64 input_bytes = n * sizeof(u32);
+  // Linear space: the input, the runs copy, the distributed tapes and the
+  // growing output coexist at a small constant of N (measured ~4.8N).
+  EXPECT_LE(peak, 6 * input_bytes);
+  // And the end state holds exactly input + output.
+  EXPECT_EQ(disk.live_bytes(), 2 * input_bytes);
+}
+
+TEST(LinearSpace, BalancedKWayPeakFootprintIsLinear) {
+  pdm::Disk disk = pdm::Disk::in_memory(tiny_blocks());
+  const u64 n = 20000;
+  const auto input = random_keys(n, 34);
+  pdm::write_file<u32>(disk, "in", std::span<const u32>(input));
+  u64 peak = 0;
+  disk.set_cost_sink([&](double) { peak = std::max(peak, disk.live_bytes()); });
+  ExternalSortConfig config;
+  config.memory_records = 256;
+  config.strategy = SortStrategy::kBalancedKWay;
+  config.allow_in_memory = false;
+  NullMeter meter;
+  external_sort<u32>(disk, "in", "out", config, meter);
+  EXPECT_LE(peak, 4 * n * sizeof(u32));
+}
+
+
+// ---------------------------------------------------------------------
+// Cascade merge sort
+// ---------------------------------------------------------------------
+
+TEST(Cascade, DistributionNumbersMatchKnuth) {
+  // T = 3 (k = 2) coincides with polyphase's Fibonacci numbers.
+  EXPECT_EQ(detail::cascade_distribution(2, 2), (std::vector<u64>{1, 1}));
+  EXPECT_EQ(detail::cascade_distribution(5, 2), (std::vector<u64>{3, 2}));
+  EXPECT_EQ(detail::cascade_distribution(13, 2), (std::vector<u64>{8, 5}));
+  // T = 4 (k = 3): totals 1, 3, 6, 14, 31 — the cascade numbers.
+  EXPECT_EQ(detail::cascade_distribution(3, 3), (std::vector<u64>{1, 1, 1}));
+  EXPECT_EQ(detail::cascade_distribution(6, 3), (std::vector<u64>{3, 2, 1}));
+  EXPECT_EQ(detail::cascade_distribution(14, 3), (std::vector<u64>{6, 5, 3}));
+  EXPECT_EQ(detail::cascade_distribution(31, 3),
+            (std::vector<u64>{14, 11, 6}));
+}
+
+class CascadeSweep : public ::testing::TestWithParam<std::tuple<u64, u32>> {};
+
+TEST_P(CascadeSweep, SortsToAPermutation) {
+  const u64 records = std::get<0>(GetParam());
+  const u32 tapes = std::get<1>(GetParam());
+  pdm::Disk disk = pdm::Disk::in_memory(tiny_blocks());
+  const auto input = random_keys(records, records * 31 + tapes);
+  pdm::write_file<u32>(disk, "in", std::span<const u32>(input));
+
+  CascadeConfig config;
+  config.memory_records = 16 * tapes;  // one block buffer per tape
+  config.tape_count = tapes;
+  NullMeter meter;
+  const auto result = cascade_sort<u32>(disk, "in", "out", config, meter);
+  EXPECT_EQ(result.records, records);
+
+  auto expected = input;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(pdm::read_file<u32>(disk, "out"), expected)
+      << "records=" << records << " tapes=" << tapes;
+
+  // Scratch tapes cleaned up.
+  for (u32 i = 0; i < tapes; ++i) {
+    EXPECT_FALSE(disk.exists("out.ctape" + std::to_string(i)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, CascadeSweep,
+    ::testing::Combine(::testing::Values(0, 1, 63, 64, 65, 1000, 5000, 20000),
+                       ::testing::Values(3, 4, 6)));
+
+TEST(Cascade, PassCountTracksCascadeLevels) {
+  // 31 runs on 4 tapes is the exact level-4 cascade total → 4 passes.
+  pdm::Disk disk = pdm::Disk::in_memory(tiny_blocks());
+  const u64 memory = 64;  // 4 block buffers — the 4-tape minimum
+  const auto input = random_keys(31 * memory, 9);
+  pdm::write_file<u32>(disk, "in", std::span<const u32>(input));
+  CascadeConfig config;
+  config.memory_records = memory;
+  config.tape_count = 4;
+  NullMeter meter;
+  const auto result = cascade_sort<u32>(disk, "in", "out", config, meter);
+  EXPECT_EQ(result.initial_runs, 31u);
+  EXPECT_EQ(result.merge_passes, 4u);
+  auto expected = input;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(pdm::read_file<u32>(disk, "out"), expected);
+}
+
+TEST(Cascade, FacadeDispatchesCascadeStrategy) {
+  pdm::Disk disk = pdm::Disk::in_memory(tiny_blocks());
+  const auto input = random_keys(4000, 21);
+  pdm::write_file<u32>(disk, "in", std::span<const u32>(input));
+  ExternalSortConfig config;
+  config.strategy = SortStrategy::kCascade;
+  config.memory_records = 128;
+  config.tape_count = 6;
+  config.allow_in_memory = false;
+  NullMeter meter;
+  const auto result = external_sort<u32>(disk, "in", "out", config, meter);
+  EXPECT_GT(result.initial_runs, 1u);
+  auto expected = input;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(pdm::read_file<u32>(disk, "out"), expected);
+}
+
+}  // namespace
+}  // namespace paladin::seq

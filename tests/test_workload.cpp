@@ -1,0 +1,211 @@
+// Tests of the benchmark input generators: determinism, slice consistency
+// and the defining property of each distribution.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "base/meter.h"
+#include "seq/run_formation.h"
+#include "workload/generators.h"
+
+namespace paladin::workload {
+namespace {
+
+WorkloadSpec spec_of(Dist d, u64 n = 4000, u32 p = 4, u64 seed = 21) {
+  WorkloadSpec s;
+  s.dist = d;
+  s.total_records = n;
+  s.node_count = p;
+  s.seed = seed;
+  return s;
+}
+
+TEST(Generators, DeterministicPerNodeAndSeed) {
+  for (Dist d : kAllBenchmarks) {
+    const auto a = generate_share(spec_of(d), 1, 1000, 1000);
+    const auto b = generate_share(spec_of(d), 1, 1000, 1000);
+    EXPECT_EQ(a, b) << to_string(d);
+  }
+}
+
+TEST(Generators, DifferentNodesDifferForRandomDists) {
+  for (Dist d : {Dist::kUniform, Dist::kGaussian}) {
+    const auto a = generate_share(spec_of(d), 0, 0, 1000);
+    const auto b = generate_share(spec_of(d), 1, 1000, 1000);
+    EXPECT_NE(a, b) << to_string(d);
+  }
+}
+
+TEST(Generators, RequestedCountProduced) {
+  for (Dist d : kAllBenchmarks) {
+    EXPECT_EQ(generate_share(spec_of(d), 0, 0, 123).size(), 123u)
+        << to_string(d);
+    EXPECT_TRUE(generate_share(spec_of(d), 0, 0, 0).empty()) << to_string(d);
+  }
+}
+
+TEST(Generators, ZeroIsConstant) {
+  const auto v = generate_share(spec_of(Dist::kZero), 2, 2000, 500);
+  for (u32 x : v) EXPECT_EQ(x, v.front());
+}
+
+TEST(Generators, SortedIsGloballySorted) {
+  const WorkloadSpec s = spec_of(Dist::kSorted);
+  std::vector<u32> all;
+  for (u32 node = 0; node < 4; ++node) {
+    const auto part = generate_share(s, node, node * 1000, 1000);
+    EXPECT_TRUE(std::is_sorted(part.begin(), part.end()));
+    all.insert(all.end(), part.begin(), part.end());
+  }
+  EXPECT_TRUE(std::is_sorted(all.begin(), all.end()));
+}
+
+TEST(Generators, ReverseSortedIsGloballyReversed) {
+  const WorkloadSpec s = spec_of(Dist::kReverseSorted);
+  std::vector<u32> all;
+  for (u32 node = 0; node < 4; ++node) {
+    const auto part = generate_share(s, node, node * 1000, 1000);
+    all.insert(all.end(), part.begin(), part.end());
+  }
+  EXPECT_TRUE(std::is_sorted(all.rbegin(), all.rend()));
+}
+
+TEST(Generators, SortedSlicingIsConsistent) {
+  // Generating [0,4000) in one shot equals concatenating four slices.
+  const WorkloadSpec s = spec_of(Dist::kSorted);
+  const auto whole = generate_share(s, 0, 0, 4000);
+  std::vector<u32> stitched;
+  for (u32 node = 0; node < 4; ++node) {
+    const auto part = generate_share(s, node, node * 1000, 1000);
+    stitched.insert(stitched.end(), part.begin(), part.end());
+  }
+  EXPECT_EQ(whole, stitched);
+}
+
+TEST(Generators, StaggeredStaysInOneBucket) {
+  const WorkloadSpec s = spec_of(Dist::kStaggered);
+  for (u32 node = 0; node < 4; ++node) {
+    const auto part = generate_share(s, node, node * 1000, 1000);
+    const u64 width = (u64{1} << 32) / 4;
+    const u32 bucket = (2 * node + 1) % 4;
+    for (u32 v : part) {
+      EXPECT_GE(v, bucket * width);
+      EXPECT_LT(static_cast<u64>(v), (bucket + 1) * width);
+    }
+  }
+}
+
+TEST(Generators, BucketSortedBlocksAscendingRanges) {
+  const WorkloadSpec s = spec_of(Dist::kBucketSorted);
+  const auto part = generate_share(s, 0, 0, 1000);
+  const u64 width = (u64{1} << 32) / 4;
+  // Block j (250 records) lives in bucket j's range.
+  for (u32 j = 0; j < 4; ++j) {
+    for (u32 i = j * 250; i < (j + 1) * 250; ++i) {
+      EXPECT_GE(part[i], j * width);
+      EXPECT_LT(static_cast<u64>(part[i]), (j + 1) * width);
+    }
+  }
+}
+
+TEST(Generators, GaussianConcentratedAroundMean) {
+  const auto v = generate_share(spec_of(Dist::kGaussian, 100000, 1), 0, 0,
+                                100000);
+  u64 inside = 0;
+  for (u32 x : v) {
+    // Within 2 sigma of 2^31.
+    if (x > (u64{1} << 31) - (u64{1} << 30) &&
+        x < (u64{1} << 31) + (u64{1} << 30)) {
+      ++inside;
+    }
+  }
+  EXPECT_GT(inside, 90000u);  // ~95.4% expected
+}
+
+TEST(Generators, UniformCoversRange) {
+  const auto v = generate_share(spec_of(Dist::kUniform, 100000, 1), 0, 0,
+                                100000);
+  u64 low = 0, high = 0;
+  for (u32 x : v) {
+    if (x < (u64{1} << 30)) ++low;
+    if (x >= 3 * (u64{1} << 30)) ++high;
+  }
+  // Each quarter should hold about 25%.
+  EXPECT_NEAR(static_cast<double>(low) / 100000.0, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(high) / 100000.0, 0.25, 0.02);
+}
+
+TEST(Generators, DuplicatesFractionRespected) {
+  WorkloadSpec s = spec_of(Dist::kDuplicates, 100000, 1);
+  s.dup_fraction = 0.4;
+  const auto v = generate_share(s, 0, 0, 100000);
+  std::map<u32, u64> freq;
+  for (u32 x : v) ++freq[x];
+  u64 max_freq = 0;
+  for (const auto& [k, c] : freq) max_freq = std::max(max_freq, c);
+  EXPECT_NEAR(static_cast<double>(max_freq) / 100000.0, 0.4, 0.02);
+}
+
+TEST(Generators, GGroupUsesEveryBucketAcrossBlocks) {
+  const WorkloadSpec s = spec_of(Dist::kGGroup);
+  const auto part = generate_share(s, 0, 0, 1000);
+  const u64 width = (u64{1} << 32) / 4;
+  std::vector<bool> seen(4, false);
+  for (u32 v : part) seen[std::min<u64>(v / width, 3)] = true;
+  for (u32 b = 0; b < 4; ++b) EXPECT_TRUE(seen[b]) << "bucket " << b;
+}
+
+TEST(Generators, NamesAreUniqueAndStable) {
+  EXPECT_STREQ(to_string(Dist::kUniform), "uniform");
+  EXPECT_STREQ(to_string(Dist::kZero), "zero");
+  std::map<std::string, int> names;
+  for (Dist d : kAllBenchmarks) ++names[to_string(d)];
+  EXPECT_EQ(names.size(), 8u);
+}
+
+
+TEST(Generators, AlmostSortedIsMostlyInOrder) {
+  const WorkloadSpec s = spec_of(Dist::kAlmostSorted, 40000, 4);
+  std::vector<u32> all;
+  for (u32 node = 0; node < 4; ++node) {
+    const auto part = generate_share(s, node, node * 10000, 10000);
+    all.insert(all.end(), part.begin(), part.end());
+  }
+  u64 inversions_adjacent = 0;
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    inversions_adjacent += all[i] < all[i - 1];
+  }
+  // ~1% displaced keys → few adjacent inversions, but not zero.
+  EXPECT_GT(inversions_adjacent, 0u);
+  EXPECT_LT(inversions_adjacent, all.size() / 20);
+}
+
+TEST(Generators, AlmostSortedFavoursReplacementSelection) {
+  // Replacement selection should produce far fewer (longer) runs than
+  // load-sort-store on nearly sorted input — its classic advantage.
+  const WorkloadSpec s = spec_of(Dist::kAlmostSorted, 40000, 1);
+  const auto input = generate_share(s, 0, 0, 40000);
+  pdm::DiskParams params;
+  params.block_bytes = 256;
+  auto runs_with = [&](bool replacement) {
+    pdm::Disk disk = pdm::Disk::in_memory(params);
+    pdm::write_file<u32>(disk, "in", std::span<const u32>(input));
+    pdm::BlockFile in = disk.open("in");
+    pdm::BlockReader<u32> reader(in);
+    pdm::BlockFile out = disk.create("runs");
+    pdm::BlockWriter<u32> writer(out);
+    NullMeter meter;
+    const auto layout = seq::form_runs<u32>(
+        replacement ? seq::RunFormation::kReplacementSelection
+                    : seq::RunFormation::kLoadSortStore,
+        reader, writer, /*memory_records=*/1024, meter);
+    return layout.run_count();
+  };
+  const u64 lss = runs_with(false);
+  const u64 rs = runs_with(true);
+  EXPECT_LT(rs, lss / 3);  // dramatically fewer runs
+}
+
+}  // namespace
+}  // namespace paladin::workload
