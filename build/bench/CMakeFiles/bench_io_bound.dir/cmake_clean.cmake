@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_io_bound.dir/bench_io_bound.cpp.o"
+  "CMakeFiles/bench_io_bound.dir/bench_io_bound.cpp.o.d"
+  "bench_io_bound"
+  "bench_io_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_io_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_msgsize_sweep.dir/bench_msgsize_sweep.cpp.o"
+  "CMakeFiles/bench_msgsize_sweep.dir/bench_msgsize_sweep.cpp.o.d"
+  "bench_msgsize_sweep"
+  "bench_msgsize_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_msgsize_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

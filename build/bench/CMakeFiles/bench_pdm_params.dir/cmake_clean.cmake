@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pdm_params.dir/bench_pdm_params.cpp.o"
+  "CMakeFiles/bench_pdm_params.dir/bench_pdm_params.cpp.o.d"
+  "bench_pdm_params"
+  "bench_pdm_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pdm_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pivot_ablation.dir/bench_pivot_ablation.cpp.o"
+  "CMakeFiles/bench_pivot_ablation.dir/bench_pivot_ablation.cpp.o.d"
+  "bench_pivot_ablation"
+  "bench_pivot_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pivot_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_seqsort.dir/bench_table2_seqsort.cpp.o"
+  "CMakeFiles/bench_table2_seqsort.dir/bench_table2_seqsort.cpp.o.d"
+  "bench_table2_seqsort"
+  "bench_table2_seqsort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_seqsort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_widerecords.dir/bench_widerecords.cpp.o"
+  "CMakeFiles/bench_widerecords.dir/bench_widerecords.cpp.o.d"
+  "bench_widerecords"
+  "bench_widerecords.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_widerecords.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibrate_and_sort.dir/calibrate_and_sort.cpp.o"
+  "CMakeFiles/calibrate_and_sort.dir/calibrate_and_sort.cpp.o.d"
+  "calibrate_and_sort"
+  "calibrate_and_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibrate_and_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/duplicate_keys.dir/duplicate_keys.cpp.o"
+  "CMakeFiles/duplicate_keys.dir/duplicate_keys.cpp.o.d"
+  "duplicate_keys"
+  "duplicate_keys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/duplicate_keys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_log_sort.dir/event_log_sort.cpp.o"
+  "CMakeFiles/event_log_sort.dir/event_log_sort.cpp.o.d"
+  "event_log_sort"
+  "event_log_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_log_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paladin_sort.dir/paladin_sort.cpp.o"
+  "CMakeFiles/paladin_sort.dir/paladin_sort.cpp.o.d"
+  "paladin_sort"
+  "paladin_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paladin_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

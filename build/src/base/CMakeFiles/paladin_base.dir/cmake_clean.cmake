@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paladin_base.dir/contracts.cpp.o"
+  "CMakeFiles/paladin_base.dir/contracts.cpp.o.d"
+  "CMakeFiles/paladin_base.dir/temp_dir.cpp.o"
+  "CMakeFiles/paladin_base.dir/temp_dir.cpp.o.d"
+  "libpaladin_base.a"
+  "libpaladin_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paladin_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hetero/calibration.cpp" "src/hetero/CMakeFiles/paladin_hetero.dir/calibration.cpp.o" "gcc" "src/hetero/CMakeFiles/paladin_hetero.dir/calibration.cpp.o.d"
+  "/root/repo/src/hetero/perf_vector.cpp" "src/hetero/CMakeFiles/paladin_hetero.dir/perf_vector.cpp.o" "gcc" "src/hetero/CMakeFiles/paladin_hetero.dir/perf_vector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/paladin_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdm/CMakeFiles/paladin_pdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/paladin_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

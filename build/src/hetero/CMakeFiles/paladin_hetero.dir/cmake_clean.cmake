@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paladin_hetero.dir/calibration.cpp.o"
+  "CMakeFiles/paladin_hetero.dir/calibration.cpp.o.d"
+  "CMakeFiles/paladin_hetero.dir/perf_vector.cpp.o"
+  "CMakeFiles/paladin_hetero.dir/perf_vector.cpp.o.d"
+  "libpaladin_hetero.a"
+  "libpaladin_hetero.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paladin_hetero.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpaladin_hetero.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paladin_metrics.dir/table.cpp.o"
+  "CMakeFiles/paladin_metrics.dir/table.cpp.o.d"
+  "libpaladin_metrics.a"
+  "libpaladin_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paladin_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/cluster.cpp" "src/net/CMakeFiles/paladin_net.dir/cluster.cpp.o" "gcc" "src/net/CMakeFiles/paladin_net.dir/cluster.cpp.o.d"
+  "/root/repo/src/net/communicator.cpp" "src/net/CMakeFiles/paladin_net.dir/communicator.cpp.o" "gcc" "src/net/CMakeFiles/paladin_net.dir/communicator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/paladin_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdm/CMakeFiles/paladin_pdm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paladin_net.dir/cluster.cpp.o"
+  "CMakeFiles/paladin_net.dir/cluster.cpp.o.d"
+  "CMakeFiles/paladin_net.dir/communicator.cpp.o"
+  "CMakeFiles/paladin_net.dir/communicator.cpp.o.d"
+  "libpaladin_net.a"
+  "libpaladin_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paladin_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paladin_pdm.dir/disk.cpp.o"
+  "CMakeFiles/paladin_pdm.dir/disk.cpp.o.d"
+  "CMakeFiles/paladin_pdm.dir/file_backend.cpp.o"
+  "CMakeFiles/paladin_pdm.dir/file_backend.cpp.o.d"
+  "libpaladin_pdm.a"
+  "libpaladin_pdm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paladin_pdm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paladin_workload.dir/generators.cpp.o"
+  "CMakeFiles/paladin_workload.dir/generators.cpp.o.d"
+  "libpaladin_workload.a"
+  "libpaladin_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paladin_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

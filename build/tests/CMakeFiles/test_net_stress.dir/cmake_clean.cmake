@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_stress.dir/test_net_stress.cpp.o"
+  "CMakeFiles/test_net_stress.dir/test_net_stress.cpp.o.d"
+  "test_net_stress"
+  "test_net_stress.pdb"
+  "test_net_stress[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_seq_theory.dir/test_seq_theory.cpp.o"
+  "CMakeFiles/test_seq_theory.dir/test_seq_theory.cpp.o.d"
+  "test_seq_theory"
+  "test_seq_theory.pdb"
+  "test_seq_theory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_seq_theory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

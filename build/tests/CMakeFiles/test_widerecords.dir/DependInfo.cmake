@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_widerecords.cpp" "tests/CMakeFiles/test_widerecords.dir/test_widerecords.cpp.o" "gcc" "tests/CMakeFiles/test_widerecords.dir/test_widerecords.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/paladin_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/hetero/CMakeFiles/paladin_hetero.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/paladin_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/paladin_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdm/CMakeFiles/paladin_pdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/paladin_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_widerecords.dir/test_widerecords.cpp.o"
+  "CMakeFiles/test_widerecords.dir/test_widerecords.cpp.o.d"
+  "test_widerecords"
+  "test_widerecords.pdb"
+  "test_widerecords[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_widerecords.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
