@@ -5,7 +5,11 @@
 // in the substrate itself.
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <filesystem>
+#include <string>
 #include <vector>
 
 #include "base/checksum.h"
@@ -26,6 +30,47 @@ std::vector<u32> random_keys(u64 n, u64 seed) {
   for (auto& x : v) x = static_cast<u32>(rng.next());
   return v;
 }
+
+/// Scratch directory on the real filesystem for the FileDisk kernels.
+struct ScopedTempDir {
+  std::filesystem::path path;
+  explicit ScopedTempDir(const std::string& tag)
+      : path(std::filesystem::temp_directory_path() /
+             ("paladin_bm_" + tag + "_" + std::to_string(::getpid()))) {
+    std::filesystem::create_directories(path);
+  }
+  ~ScopedTempDir() { std::filesystem::remove_all(path); }
+};
+
+/// k sorted runs: randomly interleaved key ranges (gallop worst case) or a
+/// range partition of one sorted sequence (gallop best case — the shape
+/// sorted/staggered/bucket-sorted workloads produce).
+std::vector<std::vector<u32>> make_runs(u64 k, u64 per_run,
+                                        bool partitioned) {
+  std::vector<std::vector<u32>> runs(k);
+  if (partitioned) {
+    auto all = random_keys(k * per_run, 11);
+    std::sort(all.begin(), all.end());
+    for (u64 i = 0; i < k; ++i) {
+      runs[i].assign(all.begin() + static_cast<i64>(i * per_run),
+                     all.begin() + static_cast<i64>((i + 1) * per_run));
+    }
+  } else {
+    for (u64 i = 0; i < k; ++i) {
+      runs[i] = random_keys(per_run, i);
+      std::sort(runs[i].begin(), runs[i].end());
+    }
+  }
+  return runs;
+}
+
+struct VecSink {
+  std::vector<u32>* out;
+  void push(u32 v) { out->push_back(v); }
+  void push_span(std::span<const u32> s) {
+    out->insert(out->end(), s.begin(), s.end());
+  }
+};
 
 void BM_LoserTreeMerge(benchmark::State& state) {
   const u64 k = static_cast<u64>(state.range(0));
@@ -53,6 +98,46 @@ void BM_LoserTreeMerge(benchmark::State& state) {
                           static_cast<i64>(k * per_run));
 }
 BENCHMARK(BM_LoserTreeMerge)->Arg(2)->Arg(4)->Arg(8)->Arg(15)->Arg(32);
+
+// Per-record pops vs pop_run_into bulk drain, on randomly interleaved
+// runs and on a range partition (where the gallop drains whole buffers).
+void BM_MergeModes(benchmark::State& state) {
+  const u64 k = static_cast<u64>(state.range(0));
+  const bool partitioned = state.range(1) != 0;
+  const bool bulk = state.range(2) != 0;
+  const u64 per_run = 1 << 14;
+  const auto runs = make_runs(k, per_run, partitioned);
+  for (auto _ : state) {
+    std::vector<seq::MemCursor<u32>> cursors;
+    cursors.reserve(k);
+    for (auto& r : runs) cursors.emplace_back(std::span<const u32>(r));
+    std::vector<seq::MemCursor<u32>*> sources;
+    for (auto& c : cursors) sources.push_back(&c);
+    seq::LoserTree<u32, seq::MemCursor<u32>> tree(std::move(sources));
+    std::vector<u32> out;
+    out.reserve(k * per_run);
+    if (bulk) {
+      VecSink sink{&out};
+      tree.pop_run_into(sink);
+    } else {
+      while (const u32* top = tree.peek()) {
+        out.push_back(*top);
+        tree.pop_discard();
+      }
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<i64>(k * per_run));
+  state.SetLabel(std::string(partitioned ? "partitioned" : "interleaved") +
+                 (bulk ? "/bulk" : "/per-record"));
+}
+BENCHMARK(BM_MergeModes)
+    ->Args({8, 0, 0})
+    ->Args({8, 0, 1})
+    ->Args({8, 1, 0})
+    ->Args({8, 1, 1})
+    ->Args({15, 1, 0})
+    ->Args({15, 1, 1});
 
 void BM_RunFormation(benchmark::State& state) {
   const bool replacement = state.range(0) != 0;
@@ -107,6 +192,7 @@ BENCHMARK(BM_StreamingPartition)->Arg(4)->Arg(8)->Arg(16);
 void BM_BlockIoRoundTrip(benchmark::State& state) {
   const u64 n = 1 << 16;
   pdm::DiskParams params;
+  params.bulk_transfers = state.range(0) != 0;
   const auto data = random_keys(n, 4);
   for (auto _ : state) {
     pdm::Disk disk = pdm::Disk::in_memory(params);
@@ -116,8 +202,36 @@ void BM_BlockIoRoundTrip(benchmark::State& state) {
   }
   state.SetBytesProcessed(state.iterations() *
                           static_cast<i64>(n * sizeof(u32) * 2));
+  state.SetLabel(params.bulk_transfers ? "bulk" : "per-record");
 }
-BENCHMARK(BM_BlockIoRoundTrip);
+BENCHMARK(BM_BlockIoRoundTrip)->Arg(0)->Arg(1);
+
+// The same round trip through real files: per-record vs bulk vs
+// bulk+overlapped (write-behind / read-ahead through the IoExecutor).
+void BM_FileIoRoundTrip(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  pdm::DiskParams params;
+  params.bulk_transfers = mode >= 1;
+  params.io_mode = mode == 2 ? pdm::IoMode::kOverlapped : pdm::IoMode::kSync;
+  const u64 n = 1 << 18;
+  const auto data = random_keys(n, 4);
+  ScopedTempDir dir("fileio");
+  u64 iter = 0;
+  for (auto _ : state) {
+    pdm::Disk disk = pdm::Disk::posix(dir.path, params);
+    const std::string name = "f" + std::to_string(iter++);
+    pdm::write_file<u32>(disk, name, std::span<const u32>(data));
+    auto back = pdm::read_file<u32>(disk, name);
+    benchmark::DoNotOptimize(back.data());
+    disk.remove(name);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<i64>(n * sizeof(u32) * 2));
+  state.SetLabel(mode == 0   ? "sync/per-record"
+                 : mode == 1 ? "sync/bulk"
+                             : "overlapped/bulk");
+}
+BENCHMARK(BM_FileIoRoundTrip)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_MultisetChecksum(benchmark::State& state) {
   const u64 n = 1 << 16;

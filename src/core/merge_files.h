@@ -45,10 +45,14 @@ u64 merge_sorted_files(pdm::Disk& disk,
     pdm::BlockFile out_file = disk.create(output);
     pdm::BlockWriter<T> writer(out_file);
     u64 merged = 0;
-    while (const T* top = tree.peek()) {
-      writer.push(*top);
-      tree.pop_discard();
-      ++merged;
+    if (disk.params().bulk_transfers) {
+      merged = tree.pop_run_into(writer);
+    } else {
+      while (const T* top = tree.peek()) {
+        writer.push(*top);
+        tree.pop_discard();
+        ++merged;
+      }
     }
     writer.flush();
     meter.on_moves(merged);
@@ -65,12 +69,7 @@ u64 merge_sorted_files(pdm::Disk& disk,
     for (const std::string& name : run_files) {
       pdm::BlockFile f = disk.open(name);
       pdm::BlockReader<T> reader(f);
-      T v;
-      u64 len = 0;
-      while (reader.next(v)) {
-        writer.push(v);
-        ++len;
-      }
+      const u64 len = pdm::copy_records(reader, writer);
       layout.run_lengths.push_back(len);
       layout.total_records += len;
     }

@@ -6,6 +6,7 @@
 // the duplicate-induced imbalance by the multiplicity d (§3.1).
 #pragma once
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -46,20 +47,66 @@ std::vector<u64> partition_sorted_file(pdm::Disk& disk,
   writers.emplace_back(files.back());
 
   u64 compares = 0;
-  T v;
-  while (reader.next(v)) {
-    // Advance past every pivot the record exceeds (input is sorted, so
-    // `current` only moves forward; the total comparison count is
-    // records + p, not records·log p).
-    while (current + 1 < p) {
-      ++compares;
-      if (!less(pivots[current], v)) break;  // v <= pivot: stays here
-      ++current;
-      files.push_back(disk.create(partition_name(prefix, current)));
-      writers.emplace_back(files.back());
+  if (disk.params().bulk_transfers) {
+    // Block-granular variant of the loop below: records at or below the
+    // current pivot form a prefix of each buffered chunk (input sorted),
+    // so they move with one push_span at one comparison each — the same
+    // comparison the record-at-a-time loop spends to learn "stays here".
+    // The first record past the pivot replays the pivot-advance loop
+    // verbatim, so comparison counts and partition-file creation points
+    // are identical.
+    for (;;) {
+      std::span<const T> chunk = reader.buffered();
+      if (chunk.empty()) break;
+      while (!chunk.empty()) {
+        if (current + 1 == p) {
+          // Last partition: everything remaining stays, no comparisons.
+          writers[current].push_span(chunk);
+          sizes[current] += chunk.size();
+          reader.advance_n(chunk.size());
+          break;
+        }
+        const auto past = std::upper_bound(chunk.begin(), chunk.end(),
+                                           pivots[current], less);
+        const u64 stay = static_cast<u64>(past - chunk.begin());
+        if (stay > 0) {
+          writers[current].push_span(chunk.first(stay));
+          sizes[current] += stay;
+          compares += stay;
+          reader.advance_n(stay);
+          chunk = chunk.subspan(stay);
+          if (chunk.empty()) break;
+        }
+        const T& v = chunk.front();
+        while (current + 1 < p) {
+          ++compares;
+          if (!less(pivots[current], v)) break;  // v <= pivot: stays here
+          ++current;
+          files.push_back(disk.create(partition_name(prefix, current)));
+          writers.emplace_back(files.back());
+        }
+        writers[current].push(v);
+        ++sizes[current];
+        reader.advance_n(1);
+        chunk = chunk.subspan(1);
+      }
     }
-    writers[current].push(v);
-    ++sizes[current];
+  } else {
+    T v;
+    while (reader.next(v)) {
+      // Advance past every pivot the record exceeds (input is sorted, so
+      // `current` only moves forward; the total comparison count is
+      // records + p, not records·log p).
+      while (current + 1 < p) {
+        ++compares;
+        if (!less(pivots[current], v)) break;  // v <= pivot: stays here
+        ++current;
+        files.push_back(disk.create(partition_name(prefix, current)));
+        writers.emplace_back(files.back());
+      }
+      writers[current].push(v);
+      ++sizes[current];
+    }
   }
   meter.on_compares(compares);
   meter.on_moves(reader.size_records());

@@ -6,6 +6,7 @@
 // side: no more than 2·l_i/B I/Os total, as the paper counts.
 #pragma once
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -67,21 +68,20 @@ RedistributeResult redistribute_partitions(net::NodeContext& ctx,
     comm.send_value<u64>(dst, kTagHeader, count);
     result.sent_records[dst] = count;
 
-    T v;
-    chunk.clear();
-    while (reader.next(v)) {
-      chunk.push_back(v);
-      if (chunk.size() == message_records) {
-        comm.send_records<T>(dst, kTagData, chunk);
-        ++result.messages;
-        chunk.clear();
-      }
-    }
-    if (!chunk.empty()) {
+    // Bulk-read each message straight off the partition file; chunking is
+    // identical to the old record-at-a-time fill, so the message count and
+    // the read/send interleaving are unchanged.
+    u64 remaining = count;
+    while (remaining > 0) {
+      const u64 take = std::min<u64>(message_records, remaining);
+      chunk.resize(take);
+      const u64 got = reader.read_span(std::span<T>(chunk));
+      PALADIN_ASSERT(got == take);
       comm.send_records<T>(dst, kTagData, chunk);
       ++result.messages;
-      chunk.clear();
+      remaining -= take;
     }
+    chunk.clear();
   }
   result.sent_records[rank] =
       ctx.disk().file_records<T>(part_prefix + ".part" + std::to_string(rank));

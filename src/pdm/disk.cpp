@@ -33,6 +33,18 @@ Disk Disk::in_memory(DiskParams params) {
 Disk::Disk(std::unique_ptr<FileBackend> backend, DiskParams params)
     : backend_(std::move(backend)), params_(params) {
   PALADIN_EXPECTS(params_.block_bytes > 0);
+  // kAuto resolves by backend: overlapping memcpy-backed "transfers" buys
+  // nothing and would race the live_bytes() sampling of MemBackend.
+  overlap_enabled_ =
+      params_.io_mode == IoMode::kOverlapped ||
+      (params_.io_mode == IoMode::kAuto && backend_->real_files());
+  if (!backend_->real_files()) overlap_enabled_ = false;
+}
+
+IoExecutor* Disk::executor() {
+  if (!overlap_enabled_) return nullptr;
+  if (!executor_) executor_ = std::make_unique<IoExecutor>();
+  return executor_.get();
 }
 
 BlockFile Disk::create(const std::string& name) {
@@ -59,7 +71,12 @@ void Disk::account(u64 blocks, ByteCount bytes, bool is_write) {
     stats_.bytes_read += bytes;
   }
   if (cost_sink_) {
-    cost_sink_(static_cast<double>(blocks) * params_.block_cost_seconds());
+    // Charge per block: a k-block transfer must accumulate simulated time
+    // exactly like k single-block transfers, so the bulk fast paths (which
+    // batch whole-block runs into one write_at/read_at) stay bit-identical
+    // to the per-record path under floating-point addition.
+    const double per_block = params_.block_cost_seconds();
+    for (u64 i = 0; i < blocks; ++i) cost_sink_(per_block);
   }
 }
 

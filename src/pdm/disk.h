@@ -15,6 +15,7 @@
 #include "base/types.h"
 #include "pdm/disk_params.h"
 #include "pdm/file_backend.h"
+#include "pdm/io_executor.h"
 #include "pdm/io_stats.h"
 
 namespace paladin::pdm {
@@ -46,6 +47,13 @@ class BlockFile {
 
   /// Appends at the current end of file.
   void append(std::span<const u8> data) { write_at(size_bytes(), data); }
+
+  /// Raw handle for the overlapped-I/O paths: jobs queued on the disk's
+  /// IoExecutor move bytes through it without accounting; the submitting
+  /// reader/writer charges the transfer via Disk::account at the logical
+  /// point where the synchronous path would have performed it.  The handle
+  /// address is stable across BlockFile moves.
+  FileHandle* raw_handle() const { return handle_.get(); }
 
   Disk& disk() const { return *disk_; }
 
@@ -102,11 +110,18 @@ class Disk {
   /// Internal: account `bytes` moved as `blocks` block transfers.
   void account(u64 blocks, ByteCount bytes, bool is_write);
 
+  /// The disk's background I/O worker, or nullptr when transfers are
+  /// synchronous (IoMode::kSync, or kAuto on an in-memory backend).
+  /// Started lazily so sync-only disks never spawn a thread.
+  IoExecutor* executor();
+
  private:
   std::unique_ptr<FileBackend> backend_;
   DiskParams params_;
   IoStats stats_;
   std::function<void(double)> cost_sink_;
+  bool overlap_enabled_ = false;
+  std::unique_ptr<IoExecutor> executor_;
 };
 
 }  // namespace paladin::pdm

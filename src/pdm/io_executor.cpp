@@ -1,0 +1,58 @@
+#include "pdm/io_executor.h"
+
+namespace paladin::pdm {
+
+IoExecutor::IoExecutor() : worker_([this] { worker_loop(); }) {}
+
+IoExecutor::~IoExecutor() {
+  {
+    std::unique_lock lock(mu_);
+    work_done_.wait(lock, [this] { return queue_.empty(); });
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  worker_.join();
+}
+
+IoExecutor::Ticket IoExecutor::submit(std::function<void()> job) {
+  Ticket t;
+  {
+    std::lock_guard lock(mu_);
+    t = next_ticket_++;
+    queue_.emplace_back(t, std::move(job));
+  }
+  work_ready_.notify_one();
+  return t;
+}
+
+void IoExecutor::wait(Ticket t) {
+  std::unique_lock lock(mu_);
+  work_done_.wait(lock, [this, t] { return completed_ >= t; });
+}
+
+void IoExecutor::drain() {
+  std::unique_lock lock(mu_);
+  work_done_.wait(lock,
+                  [this] { return completed_ + 1 == next_ticket_; });
+}
+
+void IoExecutor::worker_loop() {
+  for (;;) {
+    std::pair<Ticket, std::function<void()>> item;
+    {
+      std::unique_lock lock(mu_);
+      work_ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run
+      item = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    item.second();
+    {
+      std::lock_guard lock(mu_);
+      completed_ = item.first;
+    }
+    work_done_.notify_all();
+  }
+}
+
+}  // namespace paladin::pdm

@@ -1,0 +1,61 @@
+// Background I/O executor: one worker thread per Disk that runs raw file
+// operations (no PDM accounting) in strict submission order.  BlockReader
+// uses it for one-block read-ahead and BlockWriter for write-behind, so
+// merge/sort compute overlaps real file I/O.
+//
+// Determinism rule (DESIGN.md §7): the worker only moves bytes.  Every
+// block transfer is *charged* (IoStats + cost sink) on the submitting
+// thread at the exact logical point where the synchronous path would have
+// performed the I/O — at buffer adoption for reads, at flush for writes —
+// so block counts, byte counts and the order of virtual-time charges are
+// bit-identical to IoMode::kSync; only wall-clock changes.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "base/types.h"
+
+namespace paladin::pdm {
+
+class IoExecutor {
+ public:
+  /// An opaque completion handle.  Ticket 0 is always complete.
+  using Ticket = u64;
+
+  IoExecutor();
+  ~IoExecutor();
+
+  IoExecutor(const IoExecutor&) = delete;
+  IoExecutor& operator=(const IoExecutor&) = delete;
+
+  /// Enqueues `job` behind all previously submitted jobs (single worker,
+  /// FIFO — ops on one file handle never reorder or race).
+  Ticket submit(std::function<void()> job);
+
+  /// Blocks until the job behind `t` (and, FIFO, every job before it) has
+  /// finished.  Completion happens-before the return, so buffers filled by
+  /// the job are safe to read.
+  void wait(Ticket t);
+
+  /// Blocks until the queue is empty and the worker is idle.
+  void drain();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  std::deque<std::pair<Ticket, std::function<void()>>> queue_;
+  Ticket next_ticket_ = 1;
+  Ticket completed_ = 0;  ///< FIFO: all tickets <= completed_ are done
+  bool stop_ = false;
+  std::thread worker_;
+};
+
+}  // namespace paladin::pdm

@@ -76,7 +76,11 @@ class StripedVolume {
 };
 
 /// Writes a record stream striped across the volume's disks, one block per
-/// disk in round-robin order.
+/// disk in round-robin order.  push_span moves whole blocks straight from
+/// the caller's span (DiskParams::bulk_transfers), and on disks with an
+/// IoExecutor the block writes run behind the caller (write-behind), with
+/// each transfer charged to its disk at submission — the synchronous
+/// path's logical point.
 template <Record T>
 class StripedWriter {
  public:
@@ -85,12 +89,33 @@ class StripedWriter {
   StripedWriter(StripedVolume& volume, const std::string& name)
       : volume_(&volume),
         records_per_block_(
-            volume.disk(0).params().records_per_block(sizeof(T))) {
-    for (u64 i = 0; i < volume.disk_count(); ++i) {
+            volume.disk(0).params().records_per_block(sizeof(T))),
+        bulk_(volume.disk(0).params().bulk_transfers) {
+    const u64 d = volume.disk_count();
+    files_.reserve(d);
+    execs_.reserve(d);
+    for (u64 i = 0; i < d; ++i) {
       files_.push_back(
           volume.disk(i).create(StripedVolume::stripe_name(name, i)));
+      execs_.push_back(volume.disk(i).executor());
     }
+    cursor_bytes_.assign(d, 0);
+    last_ticket_.assign(d, 0);
     buffer_.reserve(records_per_block_);
+  }
+
+  StripedWriter(StripedWriter&&) = default;
+  StripedWriter& operator=(StripedWriter&&) = default;
+
+  ~StripedWriter() {
+    // In-flight writes target our file handles; wait them out (data loss
+    // of an unflushed tail matches the synchronous writer's behaviour).
+    if (!files_.empty()) {
+      try {
+        wait_pending();
+      } catch (...) {
+      }
+    }
   }
 
   void push(const T& record) {
@@ -100,33 +125,94 @@ class StripedWriter {
   }
 
   void push_span(std::span<const T> records) {
-    for (const T& r : records) push(r);
+    if (!bulk_) {
+      for (const T& r : records) push(r);
+      return;
+    }
+    records_written_ += records.size();
+    if (!buffer_.empty()) {
+      const u64 room = records_per_block_ - buffer_.size();
+      const u64 take = std::min<u64>(room, records.size());
+      buffer_.insert(buffer_.end(), records.begin(),
+                     records.begin() + static_cast<std::ptrdiff_t>(take));
+      records = records.subspan(take);
+      if (buffer_.size() == records_per_block_) flush_block();
+    }
+    while (records.size() >= records_per_block_) {
+      write_block(records.first(records_per_block_));
+      records = records.subspan(records_per_block_);
+    }
+    buffer_.insert(buffer_.end(), records.begin(), records.end());
   }
 
+  /// Writes the buffered partial block and waits until every stripe write
+  /// has reached its file.
   void flush() {
     if (!buffer_.empty()) flush_block();
+    wait_pending();
   }
 
   u64 records_written() const { return records_written_; }
 
  private:
   void flush_block() {
-    BlockFile& f = files_[next_disk_];
-    f.append(std::span<const u8>(reinterpret_cast<const u8*>(buffer_.data()),
-                                 buffer_.size() * sizeof(T)));
+    write_block(std::span<const T>(buffer_.data(), buffer_.size()));
     buffer_.clear();
+  }
+
+  /// Appends one (possibly partial) block to the current stripe and
+  /// rotates to the next disk.
+  void write_block(std::span<const T> records) {
+    BlockFile& f = files_[next_disk_];
+    const u64 bytes = records.size() * sizeof(T);
+    IoExecutor* ex = execs_[next_disk_];
+    if (ex != nullptr) {
+      f.disk().account(
+          ceil_div(bytes, f.disk().params().block_bytes), bytes,
+          /*is_write=*/true);
+      auto data =
+          std::make_shared<std::vector<T>>(records.begin(), records.end());
+      FileHandle* h = f.raw_handle();
+      const u64 off = cursor_bytes_[next_disk_];
+      last_ticket_[next_disk_] = ex->submit([h, off, data] {
+        h->write_at(off, std::span<const u8>(
+                             reinterpret_cast<const u8*>(data->data()),
+                             data->size() * sizeof(T)));
+      });
+    } else {
+      f.write_at(cursor_bytes_[next_disk_],
+                 std::span<const u8>(
+                     reinterpret_cast<const u8*>(records.data()), bytes));
+    }
+    cursor_bytes_[next_disk_] += bytes;
     next_disk_ = (next_disk_ + 1) % files_.size();
+  }
+
+  void wait_pending() {
+    for (u64 i = 0; i < execs_.size(); ++i) {
+      if (execs_[i] != nullptr && last_ticket_[i] != 0) {
+        execs_[i]->wait(last_ticket_[i]);
+        last_ticket_[i] = 0;
+      }
+    }
   }
 
   StripedVolume* volume_;
   u64 records_per_block_;
+  bool bulk_ = true;
   std::vector<BlockFile> files_;
+  std::vector<IoExecutor*> execs_;
+  std::vector<u64> cursor_bytes_;
+  std::vector<IoExecutor::Ticket> last_ticket_;
   std::vector<T> buffer_;
   u64 next_disk_ = 0;
   u64 records_written_ = 0;
 };
 
-/// Reads a striped record stream back in logical order.
+/// Reads a striped record stream back in logical order.  Delegates to the
+/// current stripe's BlockReader (which supplies the read-ahead under
+/// overlapped I/O) and exposes buffered()/advance_n so merges can drain it
+/// block-at-a-time.
 template <Record T>
 class StripedReader {
  public:
@@ -146,37 +232,18 @@ class StripedReader {
   }
 
   u64 size_records() const { return size_records_; }
-  bool done() const { return read_ >= size_records_ && !has_cached_; }
+  bool done() const { return read_ >= size_records_; }
 
-  /// One-record lookahead, so a StripedReader can feed a LoserTree.
+  /// Head of the logical stream, so a StripedReader can feed a LoserTree.
   const T* peek() {
-    if (!has_cached_) {
-      if (!fetch(cached_)) return nullptr;
-      has_cached_ = true;
-    }
-    return &cached_;
+    if (done()) return nullptr;
+    return readers_[next_disk_].peek();
   }
 
   void advance() {
-    const T* p = peek();
-    PALADIN_EXPECTS(p != nullptr);
-    has_cached_ = false;
-  }
-
-  bool next(T& out) {
-    const T* p = peek();
-    if (p == nullptr) return false;
-    out = *p;
-    has_cached_ = false;
-    return true;
-  }
-
- private:
-  bool fetch(T& out) {
-    if (read_ >= size_records_) return false;
+    PALADIN_EXPECTS(!done());
     BlockReader<T>& r = readers_[next_disk_];
-    const bool ok = r.next(out);
-    PALADIN_ASSERT(ok);
+    r.advance();
     ++read_;
     if (++in_block_ == records_per_block_ || r.done()) {
       // Move to the next stripe at each block boundary; also when the
@@ -184,9 +251,40 @@ class StripedReader {
       in_block_ = 0;
       next_disk_ = (next_disk_ + 1) % readers_.size();
     }
+  }
+
+  bool next(T& out) {
+    const T* p = peek();
+    if (p == nullptr) return false;
+    out = *p;
+    advance();
     return true;
   }
 
+  /// The current stripe's buffered tail, clipped to the boundary at which
+  /// the stream rotates to the next disk.  Empty only at EOF.
+  std::span<const T> buffered() {
+    if (done()) return {};
+    const std::span<const T> chunk = readers_[next_disk_].buffered();
+    return chunk.first(
+        std::min<u64>(chunk.size(), records_per_block_ - in_block_));
+  }
+
+  /// Consumes `n` records previously exposed by buffered().
+  void advance_n(u64 n) {
+    if (n == 0) return;
+    PALADIN_EXPECTS(in_block_ + n <= records_per_block_);
+    BlockReader<T>& r = readers_[next_disk_];
+    r.advance_n(n);
+    read_ += n;
+    in_block_ += n;
+    if (in_block_ == records_per_block_ || r.done()) {
+      in_block_ = 0;
+      next_disk_ = (next_disk_ + 1) % readers_.size();
+    }
+  }
+
+ private:
   u64 records_per_block_;
   std::vector<BlockFile> files_;
   std::vector<BlockReader<T>> readers_;
@@ -194,8 +292,6 @@ class StripedReader {
   u64 read_ = 0;
   u64 in_block_ = 0;
   u64 next_disk_ = 0;
-  bool has_cached_ = false;
-  T cached_{};
 };
 
 }  // namespace paladin::pdm

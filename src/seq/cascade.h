@@ -102,8 +102,7 @@ CascadeResult cascade_sort(pdm::Disk& disk, const std::string& input,
     pdm::BlockReader<T> reader(src);
     pdm::BlockFile dst = disk.create(output);
     pdm::BlockWriter<T> writer(dst);
-    T v;
-    while (reader.next(v)) writer.push(v);
+    meter.on_moves(pdm::copy_records(reader, writer));
     writer.flush();
     disk.remove(runs_name);
     return result;
@@ -141,12 +140,8 @@ CascadeResult cascade_sort(pdm::Disk& disk, const std::string& input,
       tape.begin_write();
       for (u64 r = 0; r < real; ++r) {
         const u64 len = layout.run_lengths[next_run++];
-        for (u64 i = 0; i < len; ++i) {
-          T v;
-          const bool ok = reader.next(v);
-          PALADIN_ASSERT(ok);
-          tape.writer().push(v);
-        }
+        const u64 copied = pdm::copy_records(reader, tape.writer(), len);
+        PALADIN_ASSERT(copied == len);
         tape.append_run_length(len);
       }
       tape.end_write();
@@ -189,10 +184,14 @@ CascadeResult cascade_sort(pdm::Disk& disk, const std::string& input,
       pdm::BlockFile out_file = disk.create(output);
       pdm::BlockWriter<T> writer(out_file);
       u64 merged = 0;
-      while (const T* top = tree.peek()) {
-        writer.push(*top);
-        tree.pop_discard();
-        ++merged;
+      if (disk.params().bulk_transfers) {
+        merged = tree.pop_run_into(writer);
+      } else {
+        while (const T* top = tree.peek()) {
+          writer.push(*top);
+          tree.pop_discard();
+          ++merged;
+        }
       }
       writer.flush();
       meter.on_moves(merged);
@@ -233,10 +232,14 @@ CascadeResult cascade_sort(pdm::Disk& disk, const std::string& input,
           LoserTree<T, RunCursor<T>, Less> tree(std::move(sources), less,
                                                 &meter);
           u64 merged = 0;
-          while (const T* top = tree.peek()) {
-            out_tape.writer().push(*top);
-            tree.pop_discard();
-            ++merged;
+          if (disk.params().bulk_transfers) {
+            merged = tree.pop_run_into(out_tape.writer());
+          } else {
+            while (const T* top = tree.peek()) {
+              out_tape.writer().push(*top);
+              tree.pop_discard();
+              ++merged;
+            }
           }
           meter.on_moves(merged);
           out_tape.append_run_length(merged);

@@ -27,6 +27,13 @@ class MemCursor {
     ++index_;
   }
 
+  /// Records available at the cursor (no I/O involved — the whole tail).
+  std::span<const T> buffered() const { return data_.subspan(index_); }
+  void advance_n(u64 n) {
+    PALADIN_EXPECTS(index_ + n <= data_.size());
+    index_ += n;
+  }
+
  private:
   std::span<const T> data_;
   std::size_t index_ = 0;
@@ -52,6 +59,18 @@ class RunCursor {
   }
   u64 remaining() const { return remaining_; }
 
+  /// The reader's buffered tail, clipped to this run's end.
+  std::span<const T> buffered() const {
+    if (remaining_ == 0) return {};
+    const std::span<const T> chunk = reader_->buffered();
+    return chunk.first(std::min<u64>(chunk.size(), remaining_));
+  }
+  void advance_n(u64 n) {
+    PALADIN_EXPECTS(n <= remaining_);
+    reader_->advance_n(n);
+    remaining_ -= n;
+  }
+
  private:
   pdm::BlockReader<T>* reader_ = nullptr;
   u64 remaining_ = 0;
@@ -66,6 +85,9 @@ class FileCursor {
   const T* peek() { return reader_.peek(); }
   void advance() { reader_.advance(); }
   u64 size_records() const { return reader_.size_records(); }
+
+  std::span<const T> buffered() { return reader_.buffered(); }
+  void advance_n(u64 n) { reader_.advance_n(n); }
 
  private:
   pdm::BlockReader<T> reader_;

@@ -61,10 +61,14 @@ u64 merge_run_group(pdm::Disk& disk, const std::string& runs_file,
   LoserTree<T, RunCursor<T>, Less> tree(std::move(sources), less, &meter);
 
   u64 merged = 0;
-  while (const T* top = tree.peek()) {
-    out.push(*top);
-    tree.pop_discard();
-    ++merged;
+  if (disk.params().bulk_transfers) {
+    merged = tree.pop_run_into(out);
+  } else {
+    while (const T* top = tree.peek()) {
+      out.push(*top);
+      tree.pop_discard();
+      ++merged;
+    }
   }
   meter.on_moves(merged);
   return merged;
@@ -118,9 +122,9 @@ u64 merge_runs_balanced(pdm::Disk& disk, const std::string& runs_file,
     pdm::BlockReader<T> reader(src);
     pdm::BlockFile dst = disk.create(output);
     pdm::BlockWriter<T> writer(dst);
-    T v;
-    while (reader.next(v)) writer.push(v);
+    const u64 copied = pdm::copy_records(reader, writer);
     writer.flush();
+    meter.on_moves(copied);  // the copy moves every record once
   }
   return passes;
 }

@@ -5,7 +5,9 @@
 // order and, more importantly, deterministic.
 #pragma once
 
+#include <algorithm>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "base/contracts.h"
@@ -37,6 +39,13 @@ class LoserTree {
   LoserTree(const LoserTree&) = delete;
   LoserTree& operator=(const LoserTree&) = delete;
 
+  // Comparisons are delivered to the meter in one batch when the tree is
+  // destroyed (plus one after build).  The batch boundaries are the same
+  // whether records are popped one at a time or drained via pop_run_into,
+  // so both modes advance the virtual clock through identical floating-
+  // point additions.
+  ~LoserTree() { flush_meter(); }
+
   /// Current minimum across all sources, nullptr when all are exhausted.
   const T* peek() {
     return winner_ < sources_.size() ? sources_[winner_]->peek() : nullptr;
@@ -52,7 +61,6 @@ class LoserTree {
     T out = *top;
     sources_[winner_]->advance();
     replay(winner_);
-    flush_meter();
     return out;
   }
 
@@ -61,13 +69,82 @@ class LoserTree {
     PALADIN_EXPECTS(peek() != nullptr);
     sources_[winner_]->advance();
     replay(winner_);
-    flush_meter();
+  }
+
+  /// Bulk drain: emits up to `limit` records into `sink` (anything with
+  /// push and push_span) in gallop-style batches.  While the winner's buffered tail
+  /// stays ahead of every loser on its root path the outcome of each pop
+  /// is a foregone conclusion, so the tail is emitted with one push_span
+  /// and the replays are settled arithmetically: each skipped replay would
+  /// have cost one comparison per live loser on the path and changed
+  /// nothing.  The final record of each batch goes through a real replay,
+  /// which also lands any block refill of the winner's source at exactly
+  /// the point the per-record path would.  Requires sources with
+  /// buffered()/advance_n (cursors.h, BlockReader, StripedReader).
+  template <typename Sink>
+  u64 pop_run_into(Sink& sink, u64 limit = ~u64{0}) {
+    u64 emitted = 0;
+    // Adaptive regime switch: a gallop batch costs roughly twice a plain
+    // replay when it degenerates to a single record (fully interleaved
+    // runs), so after a streak of length-1 batches fall back to plain
+    // pops for a stretch before probing again.  This is invisible to the
+    // meter: a length-1 batch charges exactly the comparisons of a plain
+    // pop (probes are uncounted, synthetic term is zero).
+    u32 ones_streak = 0;
+    while (emitted < limit && peek() != nullptr) {
+      if (ones_streak >= kGallopRetry) {
+        u64 todo = std::min<u64>(kFallbackStretch, limit - emitted);
+        while (todo > 0) {
+          const T* top = peek();
+          if (top == nullptr) break;
+          sink.push(*top);
+          sources_[winner_]->advance();
+          replay(winner_);
+          ++emitted;
+          --todo;
+        }
+        ones_streak = 0;
+        continue;
+      }
+      Source& src = *sources_[winner_];
+      const std::span<const T> tail = src.buffered();
+      PALADIN_ASSERT(!tail.empty());
+      u64 n = std::min<u64>(tail.size(), limit - emitted);
+      u64 live_losers = 0;
+      for (std::size_t node = (k_ + winner_) / 2; node >= 1; node /= 2) {
+        const std::size_t loser = tree_[node];
+        if (loser == kNone) continue;
+        const T* head = peek_source(loser);
+        if (head == nullptr) continue;
+        ++live_losers;
+        // Records the winner emits before `loser` takes over: strictly
+        // smaller ones when the loser precedes the winner (the loser would
+        // win ties), smaller-or-equal when the winner precedes the loser.
+        if (loser < winner_) {
+          n = gallop(n, [&](u64 j) { return less_(tail[j], *head); });
+        } else {
+          n = gallop(n, [&](u64 j) { return !less_(*head, tail[j]); });
+        }
+      }
+      PALADIN_ASSERT(n >= 1);  // the current winner beats every path loser
+      sink.push_span(tail.first(n));
+      src.advance_n(n);
+      compares_ += (n - 1) * live_losers;  // the skipped no-change replays
+      replay(winner_);
+      emitted += n;
+      ones_streak = n == 1 ? ones_streak + 1 : 0;
+    }
+    return emitted;
   }
 
   u64 comparisons() const { return compares_; }
 
  private:
   static constexpr std::size_t kNone = ~std::size_t{0};
+  /// pop_run_into: consecutive single-record batches before switching to
+  /// plain pops, and how many plain pops to do before probing again.
+  static constexpr u32 kGallopRetry = 1;
+  static constexpr u64 kFallbackStretch = 256;
 
   const T* peek_source(std::size_t s) {
     return s < sources_.size() ? sources_[s]->peek() : nullptr;
@@ -98,6 +175,32 @@ class LoserTree {
     }
     tree_[node] = l;
     return r;
+  }
+
+  /// Exponential search: the count (<= bound) of leading tail records for
+  /// which `still_ahead(j)` holds, given it holds at 0.  Costs O(log n) of
+  /// the result, so a 1-record answer (randomly interleaved runs) costs a
+  /// single probe — no worse than the replay it replaces — while runs with
+  /// source locality expand to whole-buffer drains.
+  template <typename Pred>
+  static u64 gallop(u64 bound, Pred still_ahead) {
+    u64 last_true = 0;
+    u64 probe = 1;
+    while (probe < bound && still_ahead(probe)) {
+      last_true = probe;
+      probe *= 2;
+    }
+    u64 lo = last_true + 1;
+    u64 hi = std::min<u64>(probe, bound);  // still_ahead(hi) false, or == bound
+    while (lo < hi) {
+      const u64 mid = lo + (hi - lo) / 2;
+      if (still_ahead(mid)) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
   }
 
   /// After the winner's source advanced, replays its path to the root.

@@ -164,8 +164,7 @@ PolyphaseResult polyphase_sort(pdm::Disk& disk, const std::string& input,
     pdm::BlockReader<T> reader(src);
     pdm::BlockFile dst = disk.create(output);
     pdm::BlockWriter<T> writer(dst);
-    T v;
-    while (reader.next(v)) writer.push(v);
+    meter.on_moves(pdm::copy_records(reader, writer));
     writer.flush();
     disk.remove(runs_name);
     return result;
@@ -211,12 +210,8 @@ PolyphaseResult polyphase_sort(pdm::Disk& disk, const std::string& input,
       for (u64 r = 0; r < real; ++r) {
         PALADIN_ASSERT(next_run < layout.run_count());
         const u64 len = layout.run_lengths[next_run++];
-        for (u64 i = 0; i < len; ++i) {
-          T v;
-          const bool ok = reader.next(v);
-          PALADIN_ASSERT(ok);
-          tape.writer().push(v);
-        }
+        const u64 copied = pdm::copy_records(reader, tape.writer(), len);
+        PALADIN_ASSERT(copied == len);
         tape.append_run_length(len);
       }
       tape.end_write();
@@ -270,15 +265,17 @@ PolyphaseResult polyphase_sort(pdm::Disk& disk, const std::string& input,
         continue;
       }
       LoserTree<T, RunCursor<T>, Less> tree(std::move(sources), less, &meter);
+      pdm::BlockWriter<T>& sink =
+          final_phase ? *final_writer : out_tape.writer();
       u64 merged = 0;
-      while (const T* top = tree.peek()) {
-        if (final_phase) {
-          final_writer->push(*top);
-        } else {
-          out_tape.writer().push(*top);
+      if (disk.params().bulk_transfers) {
+        merged = tree.pop_run_into(sink);
+      } else {
+        while (const T* top = tree.peek()) {
+          sink.push(*top);
+          tree.pop_discard();
+          ++merged;
         }
-        tree.pop_discard();
-        ++merged;
       }
       meter.on_moves(merged);
       if (!final_phase) out_tape.append_run_length(merged);

@@ -1,0 +1,329 @@
+// Equivalence of the I/O fast paths (DESIGN.md §7): the bulk-transfer
+// memcpy paths and the overlapped (read-ahead / write-behind) mode must be
+// *exactly* the per-record synchronous implementation as far as the model
+// can see — byte-identical output files, identical IoStats block/byte
+// counts, identical metered comparisons and moves, and bit-identical
+// accumulated cost-sink seconds (charge order matters under floating-point
+// addition).  Only wall-clock time may differ.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "base/meter.h"
+#include "core/ext_psrs.h"
+#include "core/scatter_gather.h"
+#include "hetero/perf_vector.h"
+#include "net/cluster.h"
+#include "pdm/striped_volume.h"
+#include "pdm/typed_io.h"
+#include "seq/external_sort.h"
+#include "seq/striped_sort.h"
+#include "workload/generators.h"
+
+namespace paladin {
+namespace {
+
+namespace fs = std::filesystem;
+using hetero::PerfVector;
+using net::Cluster;
+using net::ClusterConfig;
+using net::NodeContext;
+using workload::Dist;
+using workload::WorkloadSpec;
+
+std::vector<u32> make_input(Dist dist, u64 n, u64 seed) {
+  WorkloadSpec spec;
+  spec.dist = dist;
+  spec.total_records = n;
+  spec.node_count = 4;
+  spec.seed = seed;
+  std::vector<u32> all;
+  for (u32 node = 0; node < 4; ++node) {
+    const auto part =
+        workload::generate_share(spec, node, node * (n / 4), n / 4);
+    all.insert(all.end(), part.begin(), part.end());
+  }
+  return all;
+}
+
+/// One transfer-scheduling configuration under test.
+struct IoModeCase {
+  const char* label;
+  bool posix;  ///< real files (required for overlapped I/O)
+  pdm::IoMode io_mode;
+  bool bulk;
+};
+
+constexpr IoModeCase kBaseline{"sync-perrecord-mem", false, pdm::IoMode::kSync,
+                               false};
+constexpr IoModeCase kVariants[] = {
+    {"sync-bulk-mem", false, pdm::IoMode::kSync, true},
+    {"overlapped-perrecord-posix", true, pdm::IoMode::kOverlapped, false},
+    {"overlapped-bulk-posix", true, pdm::IoMode::kOverlapped, true},
+};
+
+/// Everything the simulation model observes about one run.
+struct Observed {
+  std::vector<u32> output;
+  pdm::IoStats stats;
+  double sink_seconds = 0.0;
+  u64 compares = 0;
+  u64 moves = 0;
+};
+
+void expect_identical(const Observed& base, const Observed& got,
+                      const std::string& what) {
+  EXPECT_EQ(base.output, got.output) << what;
+  EXPECT_EQ(base.stats.blocks_read, got.stats.blocks_read) << what;
+  EXPECT_EQ(base.stats.blocks_written, got.stats.blocks_written) << what;
+  EXPECT_EQ(base.stats.bytes_read, got.stats.bytes_read) << what;
+  EXPECT_EQ(base.stats.bytes_written, got.stats.bytes_written) << what;
+  EXPECT_EQ(base.stats.files_created, got.stats.files_created) << what;
+  EXPECT_EQ(base.stats.files_removed, got.stats.files_removed) << what;
+  // Bit-identical virtual time: the sequence of double additions must
+  // match, not just their mathematical sum.
+  EXPECT_EQ(base.sink_seconds, got.sink_seconds) << what;
+  EXPECT_EQ(base.compares, got.compares) << what;
+  EXPECT_EQ(base.moves, got.moves) << what;
+}
+
+/// A scratch directory for posix-backed cases, removed on destruction.
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& tag)
+      : path_(fs::path(::testing::TempDir()) / ("paladin_ioeq_" + tag)) {
+    fs::create_directories(path_);
+  }
+  ~ScratchDir() { fs::remove_all(path_); }
+  const fs::path& path() const { return path_; }
+
+ private:
+  fs::path path_;
+};
+
+pdm::Disk make_disk(const IoModeCase& mode, pdm::DiskParams params,
+                    const ScratchDir& dir) {
+  params.io_mode = mode.io_mode;
+  params.bulk_transfers = mode.bulk;
+  return mode.posix ? pdm::Disk::posix(dir.path(), params)
+                    : pdm::Disk::in_memory(params);
+}
+
+// ---------------------------------------------------------------------
+// Sequential external sorts: all three strategies, all distributions
+// ---------------------------------------------------------------------
+
+struct SeqEqCase {
+  Dist dist;
+  seq::SortStrategy strategy;
+};
+
+void PrintTo(const SeqEqCase& c, std::ostream* os) {
+  *os << workload::to_string(c.dist) << "_" << seq::to_string(c.strategy);
+}
+
+Observed run_seq(const SeqEqCase& c, const IoModeCase& mode,
+                 pdm::DiskParams params, const std::vector<u32>& input) {
+  ScratchDir dir(std::string("seq_") + workload::to_string(c.dist) + "_" +
+                 seq::to_string(c.strategy) + "_" + mode.label);
+  pdm::Disk disk = make_disk(mode, params, dir);
+  pdm::write_file<u32>(disk, "in", std::span<const u32>(input));
+
+  Observed obs;
+  disk.reset_stats();
+  disk.set_cost_sink([&obs](double s) { obs.sink_seconds += s; });
+  CountingMeter meter;
+  seq::ExternalSortConfig config;
+  config.strategy = c.strategy;
+  config.memory_records = 512;
+  config.allow_in_memory = false;
+  seq::external_sort<u32>(disk, "in", "out", config, meter);
+
+  disk.set_cost_sink(nullptr);
+  obs.stats = disk.stats();
+  obs.compares = meter.compares;
+  obs.moves = meter.moves;
+  obs.output = pdm::read_file<u32>(disk, "out");
+  return obs;
+}
+
+class SeqIoEquivalence : public ::testing::TestWithParam<SeqEqCase> {};
+
+TEST_P(SeqIoEquivalence, AllModesObservationallyIdentical) {
+  const SeqEqCase& c = GetParam();
+  pdm::DiskParams params;
+  params.block_bytes = 128;  // 32 records/block, exact fit
+  const auto input = make_input(c.dist, 6144, 99);
+
+  const Observed base = run_seq(c, kBaseline, params, input);
+  // Sanity: the baseline really sorted.
+  EXPECT_TRUE(std::is_sorted(base.output.begin(), base.output.end()));
+  EXPECT_EQ(base.output.size(), input.size());
+  for (const IoModeCase& mode : kVariants) {
+    expect_identical(base, run_seq(c, mode, params, input), mode.label);
+  }
+}
+
+std::vector<SeqEqCase> seq_eq_cases() {
+  std::vector<SeqEqCase> out;
+  for (Dist dist : workload::kAllBenchmarks) {
+    for (auto strategy :
+         {seq::SortStrategy::kPolyphase, seq::SortStrategy::kBalancedKWay,
+          seq::SortStrategy::kCascade}) {
+      out.push_back(SeqEqCase{dist, strategy});
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDistributions, SeqIoEquivalence,
+                         ::testing::ValuesIn(seq_eq_cases()));
+
+// Records that do not tile the block (30-byte blocks, 4-byte records →
+// 7 records/block, 28 of 30 bytes used) force the bulk paths onto their
+// one-record-block-at-a-time chunking; accounting must still match.
+TEST(SeqIoEquivalenceEdge, InexactRecordBlockFit) {
+  pdm::DiskParams params;
+  params.block_bytes = 30;
+  const auto input = make_input(Dist::kUniform, 4096, 7);
+  const SeqEqCase c{Dist::kUniform, seq::SortStrategy::kPolyphase};
+
+  const Observed base = run_seq(c, kBaseline, params, input);
+  for (const IoModeCase& mode : kVariants) {
+    expect_identical(base, run_seq(c, mode, params, input), mode.label);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Striped D-disk sort
+// ---------------------------------------------------------------------
+
+Observed run_striped(Dist dist, const IoModeCase& mode,
+                     pdm::DiskParams params, const std::vector<u32>& input) {
+  params.io_mode = mode.io_mode;
+  params.bulk_transfers = mode.bulk;
+  const u64 d = 3;
+  ScratchDir dir(std::string("striped_") + workload::to_string(dist) + "_" +
+                 mode.label);
+  std::vector<pdm::Disk> disks;
+  for (u64 i = 0; i < d; ++i) {
+    if (mode.posix) {
+      const fs::path sub = dir.path() / ("d" + std::to_string(i));
+      fs::create_directories(sub);
+      disks.push_back(pdm::Disk::posix(sub, params));
+    } else {
+      disks.push_back(pdm::Disk::in_memory(params));
+    }
+  }
+  pdm::StripedVolume vol(std::move(disks));
+  {
+    pdm::StripedWriter<u32> w(vol, "in");
+    w.push_span(std::span<const u32>(input));
+    w.flush();
+  }
+
+  Observed obs;
+  vol.reset_stats();
+  for (u64 i = 0; i < vol.disk_count(); ++i) {
+    vol.disk(i).set_cost_sink([&obs](double s) { obs.sink_seconds += s; });
+  }
+  CountingMeter meter;
+  seq::striped_sort<u32>(vol, "in", "out", 512, meter);
+
+  for (u64 i = 0; i < vol.disk_count(); ++i) {
+    vol.disk(i).set_cost_sink(nullptr);
+  }
+  obs.stats = vol.total_stats();
+  obs.compares = meter.compares;
+  obs.moves = meter.moves;
+  pdm::StripedReader<u32> r(vol, "out");
+  u32 v;
+  while (r.next(v)) obs.output.push_back(v);
+  return obs;
+}
+
+class StripedIoEquivalence : public ::testing::TestWithParam<Dist> {};
+
+TEST_P(StripedIoEquivalence, AllModesObservationallyIdentical) {
+  const Dist dist = GetParam();
+  pdm::DiskParams params;
+  params.block_bytes = 128;
+  const auto input = make_input(dist, 6144, 31);
+
+  const Observed base = run_striped(dist, kBaseline, params, input);
+  EXPECT_TRUE(std::is_sorted(base.output.begin(), base.output.end()));
+  EXPECT_EQ(base.output.size(), input.size());
+  for (const IoModeCase& mode : kVariants) {
+    expect_identical(base, run_striped(dist, mode, params, input),
+                     mode.label);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDistributions, StripedIoEquivalence,
+                         ::testing::ValuesIn(std::vector<Dist>(
+                             std::begin(workload::kAllBenchmarks),
+                             std::end(workload::kAllBenchmarks))));
+
+// ---------------------------------------------------------------------
+// Full parallel pipeline: virtual makespan is a pure function of
+// (seed, config), independent of the transfer scheduling knobs.
+// ---------------------------------------------------------------------
+
+struct PipelineRun {
+  std::vector<u32> output;
+  double makespan = 0.0;
+};
+
+PipelineRun run_pipeline(Dist dist, bool bulk, pdm::IoMode io_mode) {
+  PerfVector perf({4, 4, 1, 1});
+  const u64 n = perf.round_up_admissible(12000);
+
+  ClusterConfig config;
+  config.perf = {4, 4, 1, 1};
+  config.disk.block_bytes = 256;
+  config.disk.bulk_transfers = bulk;
+  config.disk.io_mode = io_mode;
+  Cluster cluster(config);
+
+  const auto input = make_input(dist, n, 4321);
+  auto outcome = cluster.run([&](NodeContext& ctx) -> std::vector<u32> {
+    if (ctx.rank() == 0) {
+      pdm::write_file<u32>(ctx.disk(), "all.in", std::span<const u32>(input));
+    }
+    core::scatter_shares<u32>(ctx, perf, "all.in", "input", 0, 256);
+    core::ExtPsrsConfig psrs;
+    psrs.sequential.memory_records = 512;
+    psrs.sequential.allow_in_memory = false;
+    core::ext_psrs_sort<u32>(ctx, perf, psrs);
+    core::gather_shares<u32>(ctx, "sorted", "all.out", 0, 256);
+    if (ctx.rank() == 0) {
+      return pdm::read_file<u32>(ctx.disk(), "all.out");
+    }
+    return {};
+  });
+  return PipelineRun{std::move(outcome.results[0]), outcome.makespan};
+}
+
+class PipelineIoEquivalence : public ::testing::TestWithParam<Dist> {};
+
+TEST_P(PipelineIoEquivalence, MakespanIndependentOfTransferScheduling) {
+  const Dist dist = GetParam();
+  const PipelineRun base = run_pipeline(dist, /*bulk=*/false,
+                                        pdm::IoMode::kSync);
+  const PipelineRun fast = run_pipeline(dist, /*bulk=*/true,
+                                        pdm::IoMode::kAuto);
+  EXPECT_EQ(base.output, fast.output);
+  // Bit-identical simulated execution time.
+  EXPECT_EQ(base.makespan, fast.makespan);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDistributions, PipelineIoEquivalence,
+                         ::testing::ValuesIn(std::vector<Dist>(
+                             std::begin(workload::kAllBenchmarks),
+                             std::end(workload::kAllBenchmarks))));
+
+}  // namespace
+}  // namespace paladin

@@ -184,8 +184,12 @@ TEST(Metering, LoserTreeComparisonsPerPopAreLogK) {
   std::vector<MemCursor<u32>*> sources;
   for (auto& c : cursors) sources.push_back(&c);
   CountingMeter meter;
-  LoserTree<u32, MemCursor<u32>> tree(std::move(sources), {}, &meter);
-  while (tree.peek()) tree.pop_discard();
+  {
+    // Comparisons reach the meter in one batch when the tree is destroyed
+    // (see loser_tree.h), so the count is read after the scope closes.
+    LoserTree<u32, MemCursor<u32>> tree(std::move(sources), {}, &meter);
+    while (tree.peek()) tree.pop_discard();
+  }
   const u64 pops = k * per_run;
   // Exactly log2(16) = 4 comparisons per replay (plus k-1 to build).
   EXPECT_LE(meter.compares, pops * 4 + k);
