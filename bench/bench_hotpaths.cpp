@@ -19,9 +19,13 @@
 #include "base/meter.h"
 #include "base/rng.h"
 #include "bench/bench_common.h"
+#include "core/merge_files.h"
+#include "core/partition_file.h"
 #include "metrics/table.h"
+#include "net/communicator.h"
 #include "pdm/typed_io.h"
 #include "seq/kway_merge.h"
+#include "seq/loser_tree.h"
 #include "seq/run_formation.h"
 
 namespace paladin::bench {
@@ -179,6 +183,96 @@ int run(const BenchOptions& opt) {
   };
   kernels.push_back({"merge-presorted", merge_kernel(presorted)});
   kernels.push_back({"merge-random", merge_kernel(interleaved)});
+
+  // Pipeline kernels: the two halves the fused steps 3–5 are made of.
+  // chunk-emit streams a sorted file through the PartitionStream into
+  // block-multiple payload chunks (the send half, minus the wire);
+  // net-merge feeds a LoserTree straight from a mailbox full of chunk
+  // streams and writes only the final output (the receive half).
+  constexpr u64 kChunkRecords = 8192;
+  // p−1 evenly spaced pivots over the presorted input.
+  std::vector<u32> pivots;
+  for (u64 j = 1; j < k; ++j) {
+    pivots.push_back(presorted.records[j * (n / k)]);
+  }
+  kernels.push_back(
+      {"chunk-emit", [&](const Mode& m) -> std::pair<double, u64> {
+         pdm::Disk disk = disk_for(m);
+         pdm::write_file<u32>(disk, "sorted",
+                              std::span<const u32>(presorted.records));
+         disk.reset_stats();
+         NullMeter meter;
+         u64 emitted = 0;
+         const double s = time_seconds([&] {
+           pdm::BlockFile f = disk.open("sorted");
+           pdm::BlockReader<u32> reader(f);
+           core::PartitionStream<u32> stream(reader,
+                                             std::span<const u32>(pivots),
+                                             kChunkRecords, meter);
+           std::vector<u8> payload;
+           using EventKind = core::PartitionStream<u32>::EventKind;
+           for (;;) {
+             const auto ev = stream.next(payload);
+             if (ev.kind == EventKind::kDone) break;
+             emitted += ev.records;
+           }
+         });
+         PALADIN_ASSERT(emitted == n);
+         const u64 ios = disk.stats().total_block_ios();
+         disk.remove("sorted");
+         return {s, ios};
+       }});
+  kernels.push_back(
+      {"net-merge", [&](const Mode& m) -> std::pair<double, u64> {
+         // One fabric, k sender ranks + rank 0 as the merging receiver.
+         // All chunks are pre-delivered (free wire: the kernel times the
+         // adopt→merge→write machinery, not the simulated link).
+         net::Fabric fabric(static_cast<u32>(k + 1), net::NetworkModel::infinite());
+         net::VirtualClock clock;
+         std::vector<net::Communicator> comms;
+         for (u32 r = 0; r < k + 1; ++r) comms.emplace_back(fabric, r, clock);
+         for (u64 run = 0; run < k; ++run) {
+           const u32* base = interleaved.records.data() + run * (n / k);
+           for (u64 off = 0; off < n / k; off += kChunkRecords) {
+             const u64 take = std::min<u64>(kChunkRecords, n / k - off);
+             std::vector<u8> payload(take * sizeof(u32));
+             std::memcpy(payload.data(), base + off, payload.size());
+             comms[run + 1].isend_payload(clock, 0, 1, std::move(payload));
+           }
+           comms[run + 1].isend_payload(clock, 0, 1, {});  // end-of-stream
+         }
+         pdm::Disk disk = disk_for(m);
+         disk.reset_stats();
+         NullMeter meter;
+         u64 merged = 0;
+         const double s = time_seconds([&] {
+           std::vector<core::NetworkRunSource<u32>> net_sources;
+           net_sources.reserve(k);
+           for (u32 r = 0; r < k; ++r) {
+             net_sources.emplace_back(comms[0], clock, r + 1, 1, 2, nullptr);
+           }
+           std::vector<core::NetworkRunSource<u32>*> sources;
+           for (auto& src : net_sources) sources.push_back(&src);
+           pdm::BlockFile out = disk.create("merged");
+           pdm::BlockWriter<u32> writer(out);
+           seq::LoserTree<u32, core::NetworkRunSource<u32>> tree(
+               std::move(sources), std::less<u32>(), &meter);
+           if (m.bulk) {
+             merged = tree.pop_run_into(writer);
+           } else {
+             while (const u32* top = tree.peek()) {
+               writer.push(*top);
+               tree.pop_discard();
+               ++merged;
+             }
+           }
+           writer.flush();
+         });
+         PALADIN_ASSERT(merged == n);
+         const u64 ios = disk.stats().total_block_ios();
+         disk.remove("merged");
+         return {s, ios};
+       }});
 
   for (const Kernel& kernel : kernels) {
     double base_ns = 0.0;

@@ -24,55 +24,70 @@ int run(const BenchOptions& opt) {
   note(opt.full ? "paper-scale: 2^21 integers, homogeneous perf"
                 : "scaled: 2^17 integers (run with --full for paper scale)");
 
-  metrics::TextTable table({"message size (ints)", "message bytes",
-                            "exe time (s)", "deviation", "messages/node",
-                            "paper (s)"});
+  metrics::TextTable table({"requested (ints)", "effective (ints)",
+                            "message bytes", "phased (s)", "deviation",
+                            "pipelined (s)", "messages/node", "paper (s)"});
 
   const u64 sizes[] = {8, 64, 512, 2048, 8192, 32768, 262144};
   for (u64 message_records : sizes) {
-    RunningStats time;
+    RunningStats time_phased;
+    RunningStats time_pipelined;
     u64 messages = 0;
+    u64 effective = 0;
     for (u32 rep = 0; rep < opt.reps; ++rep) {
-      net::ClusterConfig config = paper_cluster(opt);
-      config.perf = {1, 1, 1, 1};  // the paper ran this homogeneous
-      config.seed = 500 + rep;
-      net::Cluster cluster(config);
+      for (const bool pipelined : {false, true}) {
+        net::ClusterConfig config = paper_cluster(opt);
+        config.perf = {1, 1, 1, 1};  // the paper ran this homogeneous
+        config.seed = 500 + rep;
+        net::Cluster cluster(config);
 
-      workload::WorkloadSpec spec;
-      spec.dist = workload::Dist::kUniform;
-      spec.total_records = n;
-      spec.node_count = 4;
-      spec.seed = config.seed;
+        workload::WorkloadSpec spec;
+        spec.dist = workload::Dist::kUniform;
+        spec.total_records = n;
+        spec.node_count = 4;
+        spec.seed = config.seed;
 
-      auto outcome =
-          cluster.run([&](net::NodeContext& ctx) -> core::ExtPsrsReport {
-            workload::write_share(spec, ctx.rank(),
-                                  perf.share_offset(ctx.rank(), n),
-                                  perf.share(ctx.rank(), n), ctx.disk(),
-                                  "input");
-            core::ExtPsrsConfig psrs;
-            psrs.sequential.memory_records = memory;
-            psrs.sequential.tape_count = 15;
-            psrs.sequential.allow_in_memory = false;
-            psrs.message_records = message_records;
-            ctx.clock().reset();
-            return core::ext_psrs_sort<DefaultKey>(ctx, perf, psrs);
-          });
-      time.add(outcome.makespan);
-      messages = outcome.results[0].messages_sent;
+        auto outcome =
+            cluster.run([&](net::NodeContext& ctx) -> core::ExtPsrsReport {
+              workload::write_share(spec, ctx.rank(),
+                                    perf.share_offset(ctx.rank(), n),
+                                    perf.share(ctx.rank(), n), ctx.disk(),
+                                    "input");
+              core::ExtPsrsConfig psrs;
+              psrs.sequential.memory_records = memory;
+              psrs.sequential.tape_count = 15;
+              psrs.sequential.allow_in_memory = false;
+              psrs.message_records = message_records;
+              psrs.pipelined = pipelined;
+              ctx.clock().reset();
+              return core::ext_psrs_sort<DefaultKey>(ctx, perf, psrs);
+            });
+        (pipelined ? time_pipelined : time_phased).add(outcome.makespan);
+        if (!pipelined) {
+          messages = outcome.results[0].messages_sent;
+          effective = outcome.results[0].effective_message_records;
+        }
+      }
     }
     std::string paper = "-";
-    if (message_records == 8) paper = "133.61";
+    if (message_records == 8) paper = "133.61*";
     if (message_records == 8192) paper = "32.60";
     table.add_row({std::to_string(message_records),
-                   std::to_string(message_records * sizeof(DefaultKey)),
-                   fmt_seconds(time.mean()), fmt_seconds(time.stddev()),
+                   std::to_string(effective),
+                   std::to_string(effective * sizeof(DefaultKey)),
+                   fmt_seconds(time_phased.mean()),
+                   fmt_seconds(time_phased.stddev()),
+                   fmt_seconds(time_pipelined.mean()),
                    std::to_string(messages), paper});
   }
   table.print(std::cout);
-  note("paper: 8-integer packets took 133.61 s (worse than one node's "
-       "sequential 22.9 s); 8K packets 32.6 s — the per-message latency of "
-       "Fast Ethernet dominates tiny packets");
+  note("messages are clamped up to whole disk blocks (32 KiB = 8192 ints), "
+       "per the paper's block-multiple message requirement, so requested "
+       "sizes below one block collapse onto the 8192 row");
+  note("paper*: 8-integer packets took 133.61 s (worse than one node's "
+       "sequential 22.9 s) — that pathological regime is exactly what the "
+       "block-multiple clamp now forbids; 8K packets 32.6 s were the "
+       "paper's optimum, matching the clamp's floor");
   return 0;
 }
 

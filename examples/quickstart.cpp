@@ -55,7 +55,9 @@ int main() {
     finals.push_back(r.final_records);
     std::cout << "  node " << finals.size() - 1 << ": share "
               << r.local_records << " -> final " << r.final_records
-              << " (seq " << r.t_seq_sort << " s, merge " << r.t_final_merge
+              << " (seq " << r.t_seq_sort << " s, steps 3-5 "
+              << r.t_partition + r.t_redistribute + r.t_final_merge +
+                     r.t_pipeline
               << " s)\n";
   }
   std::cout << "sublist expansion: "

@@ -22,9 +22,11 @@
 #include <vector>
 
 #include "base/contracts.h"
+#include "base/math_util.h"
 #include "base/types.h"
 #include "core/partition_file.h"
 #include "core/merge_files.h"
+#include "core/pipeline.h"
 #include "core/redistribute.h"
 #include "core/sampling.h"
 #include "hetero/perf_vector.h"
@@ -45,6 +47,14 @@ struct ExtPsrsConfig {
   u64 sampling_oversample = 1;
   /// Node that sorts the samples and selects pivots.
   u32 designated_node = 0;
+  /// Fuse steps 3–5 into the overlapped partition→send→merge pipeline
+  /// (≈ Q/B + l_i/B block I/Os for those steps instead of
+  /// ≈ 2·Q/B + 4·l_i/B).  Output is bit-identical to the phased mode;
+  /// default on since bench_table3_parallel confirmed the makespan win.
+  bool pipelined = true;
+  /// Per-destination credit window in pipelined mode and in the phased
+  /// exchange: at most this many un-acknowledged chunks in flight.
+  u64 flow_window_chunks = kDefaultFlowWindow;
   /// Node-local file names.
   std::string input = "input";
   std::string output = "sorted";
@@ -60,6 +70,7 @@ struct ExtPsrsReport {
   u64 final_records = 0;    ///< records owned after Step 5
   u64 samples_contributed = 0;
   u64 messages_sent = 0;
+  u64 effective_message_records = 0;  ///< message_records after block clamping
 
   // Virtual seconds spent in each step.
   double t_seq_sort = 0.0;
@@ -67,6 +78,7 @@ struct ExtPsrsReport {
   double t_partition = 0.0;
   double t_redistribute = 0.0;
   double t_final_merge = 0.0;
+  double t_pipeline = 0.0;  ///< fused steps 3–5 (pipelined mode only)
   double t_total = 0.0;
 
   // Block I/O per step (this node's disk).
@@ -75,6 +87,7 @@ struct ExtPsrsReport {
   u64 io_partition = 0;
   u64 io_redistribute = 0;
   u64 io_final_merge = 0;
+  u64 io_pipeline = 0;  ///< fused steps 3–5 (pipelined mode only)
 };
 
 /// SPMD body: sorts the cluster-wide dataset whose share on this node is
@@ -152,6 +165,32 @@ ExtPsrsReport ext_psrs_sort(net::NodeContext& ctx,
   report.t_sampling = ctx.clock().now() - t1;
   report.io_sampling = ctx.disk().stats().total_block_ios() - io1;
 
+  if (config.pipelined) {
+    // ---- Steps 3–5, fused: overlapped partition→send→merge ------------
+    const double t2 = ctx.clock().now();
+    const u64 io2 = ctx.disk().stats().total_block_ios();
+    const u64 msg =
+        clamped_message_records<T>(ctx.disk(), config.message_records);
+    report.effective_message_records = msg;
+    const PipelineOutcome piped = pipelined_exchange_merge<T, Less>(
+        ctx, sorted_local, config.output, std::span<const T>(pivots), msg,
+        config.flow_window_chunks, less);
+    if (!config.keep_intermediates) ctx.disk().remove(sorted_local);
+    report.final_records = piped.merged;
+    report.messages_sent = piped.data_messages;
+    report.t_pipeline = ctx.clock().now() - t2;
+    report.io_pipeline = ctx.disk().stats().total_block_ios() - io2;
+    // The fused steps touch the disk once on each side — read the sorted
+    // file (l_i records), write the final partition — which is the
+    // ≈ Q/B + l_i/B bound the pipeline exists to meet.
+    const u64 rpb = ctx.disk().params().records_per_block(sizeof(T));
+    const u64 bound = ceil_div(report.local_records, rpb) +
+                      ceil_div(report.final_records, rpb);
+    PALADIN_ENSURES(report.io_pipeline <= bound + 2);
+    report.t_total = ctx.clock().now() - t0;
+    return report;
+  }
+
   // ---- Step 3: partition the sorted file by the pivots ----------------
   const double t2 = ctx.clock().now();
   const u64 io2 = ctx.disk().stats().total_block_ios();
@@ -167,8 +206,10 @@ ExtPsrsReport ext_psrs_sort(net::NodeContext& ctx,
   const u64 io3 = ctx.disk().stats().total_block_ios();
   const std::string recv_prefix = config.output + ".step4";
   const RedistributeResult exchanged = redistribute_partitions<T>(
-      ctx, part_prefix, recv_prefix, config.message_records);
+      ctx, part_prefix, recv_prefix, config.message_records,
+      config.flow_window_chunks);
   report.messages_sent = exchanged.messages;
+  report.effective_message_records = exchanged.effective_message_records;
   if (!config.keep_intermediates) {
     for (u32 j = 0; j < p; ++j) {
       if (j != rank) ctx.disk().remove(partition_name(part_prefix, j));

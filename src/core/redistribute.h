@@ -1,9 +1,29 @@
 // Step 4 of Algorithm 1: redistribution of the partition files — partition
 // j of every node travels to node j.  Data moves in messages of
 // `message_records` records (the paper's packet-size knob: 8-integer
-// packets were disastrous, 8K-integer packets optimal; Table 3 uses 32 KB).
-// Each transfer is a read on the sender side and a write on the receiver
-// side: no more than 2·l_i/B I/Os total, as the paper counts.
+// packets were disastrous, 8K-integer packets optimal; Table 3 uses 32 KB),
+// clamped up to a whole multiple of the disk block per the paper's
+// block-multiple message requirement.  Each transfer is a read on the
+// sender side and a write on the receiver side: no more than 2·l_i/B I/Os
+// total, as the paper counts.
+//
+// Flow control: the old eager schedule put a node's *entire* outgoing data
+// in flight before any receive was posted, so a slow receiver let a fast
+// sender buffer Θ(l_i) bytes in its mailbox — a latent violation of the
+// linear-space invariant.  The exchange now runs in p−1 lockstep offset
+// phases (phase o pairs rank with dst=(rank+o)%p and src=(rank+p−o)%p) and
+// inside each phase the partner files move in rounds: before sending chunk
+// k ≥ W the sender first receives the ack for chunk k−W, and each received
+// chunk is acked as soon as it is spilled.  At most W chunks per pair are
+// ever un-acknowledged, so mailbox occupancy is O(W·message_bytes).
+//
+// Deadlock-freedom: order phases, then rounds, then (send-part, recv-part)
+// lexicographically.  Within a phase both partners run the same round
+// sequence; the send part of round k blocks only on an ack its partner's
+// recv part of round k−W already emitted, and the recv part blocks only on
+// the partner's round-k send.  Every wait is thus on a strictly smaller
+// lexicographic position of the partner, which the partner has already
+// passed or is currently executing, so some node can always progress.
 #pragma once
 
 #include <algorithm>
@@ -11,16 +31,32 @@
 #include <vector>
 
 #include "base/contracts.h"
+#include "base/math_util.h"
 #include "base/types.h"
 #include "net/cluster.h"
 #include "pdm/typed_io.h"
 
 namespace paladin::core {
 
+/// Default per-pair credit window (un-acknowledged chunks in flight), used
+/// by both the legacy phased exchange and the fused pipeline.
+inline constexpr u64 kDefaultFlowWindow = 4;
+
+/// The paper requires messages to be whole multiples of the disk block.
+/// Rounds `requested` up to the smallest positive multiple of T-records
+/// per block on `disk` (any sub-block request becomes one full block).
+template <Record T>
+u64 clamped_message_records(const pdm::Disk& disk, u64 requested) {
+  PALADIN_EXPECTS(requested >= 1);
+  const u64 rpb = disk.params().records_per_block(sizeof(T));
+  return ceil_div(requested, rpb) * rpb;
+}
+
 struct RedistributeResult {
   std::vector<u64> sent_records;      ///< records shipped to each peer
   std::vector<u64> received_records;  ///< records landed from each peer
-  u64 messages = 0;                   ///< network messages (excl. headers)
+  u64 messages = 0;                   ///< data messages (headers/acks excl.)
+  u64 effective_message_records = 0;  ///< message_records after clamping
 
   u64 total_received() const {
     u64 t = 0;
@@ -42,67 +78,76 @@ template <Record T>
 RedistributeResult redistribute_partitions(net::NodeContext& ctx,
                                            const std::string& part_prefix,
                                            const std::string& recv_prefix,
-                                           u64 message_records) {
+                                           u64 message_records,
+                                           u64 window_chunks =
+                                               kDefaultFlowWindow) {
   PALADIN_EXPECTS(message_records >= 1);
+  PALADIN_EXPECTS(window_chunks >= 1);
   constexpr int kTagHeader = 40;
   constexpr int kTagData = 41;
+  constexpr int kTagAck = 42;
 
   net::Communicator& comm = ctx.comm();
   const u32 p = comm.size();
   const u32 rank = comm.rank();
+  message_records = clamped_message_records<T>(ctx.disk(), message_records);
   RedistributeResult result;
   result.sent_records.assign(p, 0);
   result.received_records.assign(p, 0);
+  result.effective_message_records = message_records;
 
-  // Ship each outgoing partition, chunked.  Sends are eager, so all
-  // outgoing traffic is in flight before any receive is posted — the
-  // one-step communication pattern the paper targets.
   std::vector<T> chunk;
   chunk.reserve(message_records);
   for (u32 offset = 1; offset < p; ++offset) {
     const u32 dst = (rank + offset) % p;
+    const u32 src = (rank + p - offset) % p;
+
     pdm::BlockFile f =
         ctx.disk().open(part_prefix + ".part" + std::to_string(dst));
     pdm::BlockReader<T> reader(f);
-    const u64 count = reader.size_records();
-    comm.send_value<u64>(dst, kTagHeader, count);
-    result.sent_records[dst] = count;
-
-    // Bulk-read each message straight off the partition file; chunking is
-    // identical to the old record-at-a-time fill, so the message count and
-    // the read/send interleaving are unchanged.
-    u64 remaining = count;
-    while (remaining > 0) {
-      const u64 take = std::min<u64>(message_records, remaining);
-      chunk.resize(take);
-      const u64 got = reader.read_span(std::span<T>(chunk));
-      PALADIN_ASSERT(got == take);
-      comm.send_records<T>(dst, kTagData, chunk);
-      ++result.messages;
-      remaining -= take;
-    }
-    chunk.clear();
-  }
-  result.sent_records[rank] =
-      ctx.disk().file_records<T>(part_prefix + ".part" + std::to_string(rank));
-
-  // Drain incoming partitions onto local disk.
-  for (u32 offset = 1; offset < p; ++offset) {
-    const u32 src = (rank + p - offset) % p;
+    const u64 send_count = reader.size_records();
+    comm.send_value<u64>(dst, kTagHeader, send_count);
+    result.sent_records[dst] = send_count;
     const u64 expected = comm.recv_value<u64>(src, kTagHeader);
-    pdm::BlockFile f = ctx.disk().create(received_name(recv_prefix, src));
-    pdm::BlockWriter<T> writer(f);
+
+    pdm::BlockFile rf = ctx.disk().create(received_name(recv_prefix, src));
+    pdm::BlockWriter<T> writer(rf);
+
+    const u64 send_chunks = ceil_div(send_count, message_records);
+    const u64 recv_chunks = ceil_div(expected, message_records);
+    const u64 rounds = std::max(send_chunks, recv_chunks);
+    u64 sent = 0;
     u64 got = 0;
-    while (got < expected) {
-      std::vector<T> data = comm.recv_records<T>(src, kTagData);
-      PALADIN_ASSERT(!data.empty());
-      writer.push_span(std::span<const T>(data));
-      got += data.size();
+    for (u64 k = 0; k < rounds; ++k) {
+      if (k < send_chunks) {
+        if (k >= window_chunks) {
+          // Credit: dst has consumed chunk k−W.
+          comm.recv_packet(dst, kTagAck);
+        }
+        const u64 take = std::min<u64>(message_records, send_count - sent);
+        chunk.resize(take);
+        const u64 read = reader.read_span(std::span<T>(chunk));
+        PALADIN_ASSERT(read == take);
+        comm.send_records<T>(dst, kTagData, chunk);
+        ++result.messages;
+        sent += take;
+      }
+      if (k < recv_chunks) {
+        std::vector<T> data = comm.recv_records<T>(src, kTagData);
+        PALADIN_ASSERT(!data.empty());
+        writer.push_span(std::span<const T>(data));
+        got += data.size();
+        comm.send_value<u8>(src, kTagAck, 0);
+      }
     }
     writer.flush();
+    chunk.clear();
+    PALADIN_ASSERT(sent == send_count);
     PALADIN_ASSERT(got == expected);
     result.received_records[src] = got;
   }
+  result.sent_records[rank] =
+      ctx.disk().file_records<T>(part_prefix + ".part" + std::to_string(rank));
   result.received_records[rank] = result.sent_records[rank];
   return result;
 }

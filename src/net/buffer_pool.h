@@ -1,0 +1,53 @@
+// Reusable message payload buffers.  The pipelined redistribution moves
+// tens of thousands of block-multiple chunks per run; without pooling every
+// chunk is one heap allocation on the sender plus one free on the receiver.
+// The pool recycles the byte vectors across the whole fabric: a sender
+// acquires a buffer, fills it and moves it into the Packet; the receiver
+// consumes the payload and releases the vector (capacity intact) back here.
+//
+// Pooling affects only vector *capacity* reuse, never contents or sizes, so
+// it is invisible to the deterministic virtual-time accounting.
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "base/types.h"
+
+namespace paladin::net {
+
+class BufferPool {
+ public:
+  /// Returns an empty buffer (capacity from a previous release when one is
+  /// available, fresh otherwise).
+  std::vector<u8> acquire() {
+    std::lock_guard lock(mutex_);
+    if (free_.empty()) return {};
+    std::vector<u8> buf = std::move(free_.back());
+    free_.pop_back();
+    buf.clear();
+    return buf;
+  }
+
+  /// Hands a consumed payload back for reuse.  Bounded: beyond the cap the
+  /// buffer is simply freed, so a burst cannot pin memory forever.
+  void release(std::vector<u8> buf) {
+    if (buf.capacity() == 0) return;
+    std::lock_guard lock(mutex_);
+    if (free_.size() >= kMaxPooled) return;  // let `buf` deallocate
+    free_.push_back(std::move(buf));
+  }
+
+  std::size_t pooled() const {
+    std::lock_guard lock(mutex_);
+    return free_.size();
+  }
+
+ private:
+  static constexpr std::size_t kMaxPooled = 256;
+
+  mutable std::mutex mutex_;
+  std::vector<std::vector<u8>> free_;
+};
+
+}  // namespace paladin::net

@@ -12,32 +12,62 @@ void Communicator::send_bytes(u32 dst, int tag, std::span<const u8> bytes) {
 
 void Communicator::send_internal(u32 dst, int tag,
                                  std::span<const u8> bytes) {
+  deliver_payload(*clock_, dst, tag, std::vector<u8>(bytes.begin(),
+                                                     bytes.end()));
+}
+
+void Communicator::deliver_payload(VirtualClock& clk, u32 dst, int tag,
+                                   std::vector<u8>&& payload) {
   Packet p;
   p.source = static_cast<int>(rank_);
   p.tag = tag;
-  p.payload.assign(bytes.begin(), bytes.end());
+  p.payload = std::move(payload);
   if (dst == rank_) {
     // Self-delivery: no wire, no cost.
-    p.arrival_time = clock_->now();
+    p.arrival_time = clk.now();
   } else {
     const NetworkModel& net = fabric_->model();
     const double wire =
-        static_cast<double>(bytes.size()) / net.bandwidth_bytes_per_second;
+        static_cast<double>(p.payload.size()) / net.bandwidth_bytes_per_second;
     // Sender pays the per-message software overhead plus the wire
     // occupancy; the packet lands one latency after it left.
-    clock_->advance(net.per_message_overhead_seconds + wire);
-    p.arrival_time = clock_->now() + net.latency_seconds;
+    clk.advance(net.per_message_overhead_seconds + wire);
+    p.arrival_time = clk.now() + net.latency_seconds;
   }
   fabric_->mailbox(dst).deliver(std::move(p));
 }
 
+void Communicator::isend_payload(VirtualClock& clk, u32 dst, int tag,
+                                 std::vector<u8>&& payload) {
+  PALADIN_EXPECTS(dst < size());
+  PALADIN_EXPECTS_MSG(tag >= 0, "negative tags are reserved for collectives");
+  deliver_payload(clk, dst, tag, std::move(payload));
+}
+
+void Communicator::charge_receive(VirtualClock& clk, const Packet& p) {
+  clk.merge(p.arrival_time);
+  if (p.source != static_cast<int>(rank_)) {
+    clk.advance(fabric_->model().per_message_overhead_seconds);
+  }
+}
+
 Packet Communicator::recv_packet(u32 src, int tag) {
+  return recv_packet_on(*clock_, src, tag);
+}
+
+Packet Communicator::recv_packet_on(VirtualClock& clk, u32 src, int tag) {
   PALADIN_EXPECTS(src < size());
   Packet p = fabric_->mailbox(rank_).receive(static_cast<int>(src), tag);
-  clock_->merge(p.arrival_time);
-  if (p.source != static_cast<int>(rank_)) {
-    clock_->advance(fabric_->model().per_message_overhead_seconds);
-  }
+  charge_receive(clk, p);
+  return p;
+}
+
+std::optional<Packet> Communicator::try_recv_packet_on(VirtualClock& clk,
+                                                       u32 src, int tag) {
+  PALADIN_EXPECTS(src < size());
+  std::optional<Packet> p =
+      fabric_->mailbox(rank_).try_receive(static_cast<int>(src), tag);
+  if (p.has_value()) charge_receive(clk, *p);
   return p;
 }
 
@@ -65,10 +95,7 @@ void Communicator::barrier() {
 
 Packet Communicator::recv_internal(u32 src, int tag) {
   Packet p = fabric_->mailbox(rank_).receive(static_cast<int>(src), tag);
-  clock_->merge(p.arrival_time);
-  if (p.source != static_cast<int>(rank_)) {
-    clock_->advance(fabric_->model().per_message_overhead_seconds);
-  }
+  charge_receive(*clock_, p);
   return p;
 }
 

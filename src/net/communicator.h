@@ -12,12 +12,14 @@
 #include <atomic>
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <vector>
 
 #include "base/contracts.h"
 #include "base/types.h"
+#include "net/buffer_pool.h"
 #include "net/mailbox.h"
 #include "net/network_model.h"
 #include "net/virtual_clock.h"
@@ -49,6 +51,7 @@ class Fabric {
   const NetworkModel& model() const { return model_; }
   CollectiveAlgo collectives() const { return collectives_; }
   Mailbox& mailbox(u32 rank) { return *boxes_.at(rank); }
+  BufferPool& pool() { return pool_; }
 
   /// Poisons every mailbox; called when any node throws so that peers
   /// blocked in receive() fail with MailboxPoisoned instead of hanging.
@@ -60,6 +63,7 @@ class Fabric {
   std::vector<std::unique_ptr<Mailbox>> boxes_;
   NetworkModel model_;
   CollectiveAlgo collectives_;
+  BufferPool pool_;
 };
 
 class Communicator {
@@ -79,6 +83,44 @@ class Communicator {
 
   /// Blocking receive from a specific source; merges arrival time.
   Packet recv_packet(u32 src, int tag);
+
+  // -- Pipelined-mode primitives (explicit clock, zero-copy payloads). ---
+  //
+  // The fused partition→send→merge pipeline models its overlap with two
+  // logical clocks per node (one for the send stream, one for the merge
+  // stream), so every transport call below takes the clock to charge
+  // instead of using the node clock.  Payloads move by vector, not by
+  // copy, so pooled buffers travel through the mailbox allocation-free.
+
+  /// Non-blocking isend: moves `payload` into the receiver's mailbox,
+  /// charging overhead + wire occupancy to `clk` (self-sends free).
+  void isend_payload(VirtualClock& clk, u32 dst, int tag,
+                     std::vector<u8>&& payload);
+
+  /// Blocking receive charging `clk`: merges the arrival timestamp and
+  /// adds the per-message receive overhead (skipped for self-delivery).
+  Packet recv_packet_on(VirtualClock& clk, u32 src, int tag);
+
+  /// Non-blocking irecv probe: returns the packet (charging `clk` exactly
+  /// like recv_packet_on) when one is queued, std::nullopt otherwise.
+  std::optional<Packet> try_recv_packet_on(VirtualClock& clk, u32 src,
+                                           int tag);
+
+  /// Delivery counter of this rank's inbox; pair with
+  /// wait_any_delivery_beyond() for a sleep-until-anything-arrives wait.
+  u64 inbox_deliveries() const { return fabric_->mailbox(rank_).deliveries(); }
+  void wait_any_delivery_beyond(u64 seen) {
+    fabric_->mailbox(rank_).wait_deliveries_beyond(seen);
+  }
+
+  /// High-water mark of payload bytes queued in this rank's inbox — the
+  /// observable the flow-control stress test pins.
+  u64 inbox_peak_bytes() const {
+    return fabric_->mailbox(rank_).max_pending_bytes();
+  }
+
+  /// Shared payload-buffer pool of the fabric.
+  BufferPool& pool() { return fabric_->pool(); }
 
   std::vector<u8> recv_bytes(u32 src, int tag) {
     return recv_packet(src, tag).payload;
@@ -207,6 +249,14 @@ class Communicator {
   void send_internal(u32 dst, int tag, std::span<const u8> bytes);
   Packet recv_internal(u32 src, int tag);
 
+  /// Core send: stamps and delivers an already-materialised payload,
+  /// charging the given clock.  All send paths funnel through here so the
+  /// cost arithmetic cannot diverge between them.
+  void deliver_payload(VirtualClock& clk, u32 dst, int tag,
+                       std::vector<u8>&& payload);
+  /// Core receive-side accounting shared by the blocking and probing paths.
+  void charge_receive(VirtualClock& clk, const Packet& p);
+
   template <Record T>
   void send_value_internal(u32 dst, int tag, const T& value) {
     send_internal(dst, tag,
@@ -281,7 +331,8 @@ class Communicator {
       }
       if (vrank + mask < p) {
         const V other = recv_value_internal<V>(vrank + mask, kTagReduce);
-        value = op(value, other);
+        // Integer promotion makes op() return int for sub-int V types.
+        value = static_cast<V>(op(value, other));
       }
       mask <<= 1;
     }

@@ -9,6 +9,7 @@
 #include <condition_variable>
 #include <deque>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <vector>
 
@@ -41,6 +42,9 @@ class Mailbox {
   void deliver(Packet packet) {
     {
       std::lock_guard lock(mutex_);
+      pending_bytes_ += packet.payload.size();
+      max_pending_bytes_ = std::max(max_pending_bytes_, pending_bytes_);
+      ++deliveries_;
       queue_.push_back(std::move(packet));
     }
     cv_.notify_all();
@@ -52,15 +56,39 @@ class Mailbox {
   Packet receive(int source, int tag) {
     std::unique_lock lock(mutex_);
     for (;;) {
-      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-        const bool src_ok = source == kAnySource || it->source == source;
-        const bool tag_ok = tag == kAnyTag || it->tag == tag;
-        if (src_ok && tag_ok) {
-          Packet p = std::move(*it);
-          queue_.erase(it);
-          return p;
-        }
+      if (std::optional<Packet> p = take_matching(source, tag)) {
+        return std::move(*p);
       }
+      if (poisoned_) throw MailboxPoisoned();
+      cv_.wait(lock);
+    }
+  }
+
+  /// Non-blocking receive: removes and returns a matching packet if one is
+  /// queued, std::nullopt otherwise.  Throws MailboxPoisoned once the box
+  /// is poisoned and no matching packet remains.
+  std::optional<Packet> try_receive(int source, int tag) {
+    std::lock_guard lock(mutex_);
+    if (std::optional<Packet> p = take_matching(source, tag)) return p;
+    if (poisoned_) throw MailboxPoisoned();
+    return std::nullopt;
+  }
+
+  /// Monotonic count of packets ever delivered to this box.  Snapshot it
+  /// before a batch of try_receive calls, then wait_deliveries_beyond() to
+  /// sleep until anything new arrives (no lost-wakeup window).
+  u64 deliveries() const {
+    std::lock_guard lock(mutex_);
+    return deliveries_;
+  }
+
+  /// Blocks until the delivery count exceeds `seen` (or poison).  The
+  /// cooperative pipeline driver parks here when neither its send nor its
+  /// merge half can progress; any new packet (data, EOS or ack) wakes it.
+  void wait_deliveries_beyond(u64 seen) {
+    std::unique_lock lock(mutex_);
+    for (;;) {
+      if (deliveries_ > seen) return;
       if (poisoned_) throw MailboxPoisoned();
       cv_.wait(lock);
     }
@@ -82,10 +110,42 @@ class Mailbox {
     return queue_.size();
   }
 
+  /// Payload bytes currently queued (delivered but not yet received).
+  u64 pending_bytes() const {
+    std::lock_guard lock(mutex_);
+    return pending_bytes_;
+  }
+
+  /// High-water mark of pending_bytes() over the box's lifetime.  The flow
+  /// control stress test pins this against the credit window's byte cap.
+  u64 max_pending_bytes() const {
+    std::lock_guard lock(mutex_);
+    return max_pending_bytes_;
+  }
+
  private:
+  /// Removes and returns the first packet matching (source, tag); caller
+  /// holds mutex_.
+  std::optional<Packet> take_matching(int source, int tag) {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      const bool src_ok = source == kAnySource || it->source == source;
+      const bool tag_ok = tag == kAnyTag || it->tag == tag;
+      if (src_ok && tag_ok) {
+        Packet p = std::move(*it);
+        queue_.erase(it);
+        pending_bytes_ -= p.payload.size();
+        return p;
+      }
+    }
+    return std::nullopt;
+  }
+
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<Packet> queue_;
+  u64 deliveries_ = 0;
+  u64 pending_bytes_ = 0;
+  u64 max_pending_bytes_ = 0;
   bool poisoned_ = false;
 };
 

@@ -112,6 +112,9 @@ TEST(Integration, KeepIntermediatesRetainsStepFiles) {
     psrs.sequential.memory_records = 256;
     psrs.sequential.allow_in_memory = false;
     psrs.keep_intermediates = true;
+    // The pipeline streams partitions over the network without ever
+    // writing step-3/step-4 files; only the phased mode has them to keep.
+    psrs.pipelined = false;
     core::ext_psrs_sort<DefaultKey>(ctx, perf, psrs);
     return ctx.disk().exists("sorted.step1") &&
            ctx.disk().exists("sorted.step3.part0") &&
@@ -245,6 +248,7 @@ TEST(Integration, StepTimesAndIosAreConsistent) {
     psrs.sequential.memory_records = 512;
     psrs.sequential.allow_in_memory = false;
     psrs.message_records = 64;
+    psrs.pipelined = false;  // this test pins the phased per-step breakdown
     return core::ext_psrs_sort<DefaultKey>(ctx, perf, psrs);
   });
 
@@ -356,11 +360,14 @@ TEST(Integration, RedistributeMovesExactPartitionContents) {
       }
       ok = ok && result.received_records[src] == got.size();
     }
-    // Messages: ceil(count/message_records) per outgoing peer partition.
+    // Messages: ceil(count/message_records) per outgoing peer partition,
+    // after the block-multiple clamp (64-byte blocks, u32 → requested 4
+    // rounds up to 16).
+    ok = ok && result.effective_message_records == 16;
     u64 expected_messages = 0;
     for (u32 dst = 0; dst < p; ++dst) {
       if (dst == ctx.rank()) continue;
-      expected_messages += ceil_div(10 + dst, 4);
+      expected_messages += ceil_div(10 + dst, result.effective_message_records);
     }
     ok = ok && result.messages == expected_messages;
     return ok;
@@ -369,8 +376,10 @@ TEST(Integration, RedistributeMovesExactPartitionContents) {
 }
 
 TEST(Integration, RedistributeSingleRecordMessages) {
-  // message_records = 1 is the paper's pathological small-packet case;
-  // correctness must be unaffected.
+  // message_records = 1 is the paper's pathological small-packet request.
+  // The paper requires block-multiple messages, so the request clamps up
+  // to one 16-record block (64-byte blocks, u32) and the 7 records travel
+  // in a single message; correctness must be unaffected.
   ClusterConfig config = ClusterConfig::homogeneous(2);
   config.disk.block_bytes = 64;
   Cluster cluster(config);
@@ -384,9 +393,13 @@ TEST(Integration, RedistributeSingleRecordMessages) {
     }
     const auto result =
         core::redistribute_partitions<u32>(ctx, "y.step3", "y.step4", 1);
+    EXPECT_EQ(result.effective_message_records, 16u);
+    const auto got = pdm::read_file<u32>(
+        ctx.disk(), core::received_name("y.step4", 1 - ctx.rank()));
+    EXPECT_EQ(got.size(), 7u);
     return result.messages;
   });
-  for (u64 messages : outcome.results) EXPECT_EQ(messages, 7u);
+  for (u64 messages : outcome.results) EXPECT_EQ(messages, 1u);
 }
 
 // ---------------------------------------------------------------------

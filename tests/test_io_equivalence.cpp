@@ -7,7 +7,10 @@
 // addition).  Only wall-clock time may differ.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <filesystem>
 #include <string>
 #include <vector>
@@ -91,16 +94,26 @@ void expect_identical(const Observed& base, const Observed& got,
 }
 
 /// A scratch directory for posix-backed cases, removed on destruction.
+/// Distinct tests can derive the same tag (the edge cases reuse the
+/// parameterized cases' configs), and ctest runs them concurrently — the
+/// pid+counter suffix keeps their directories disjoint.
 class ScratchDir {
  public:
   explicit ScratchDir(const std::string& tag)
-      : path_(fs::path(::testing::TempDir()) / ("paladin_ioeq_" + tag)) {
+      : path_(fs::path(::testing::TempDir()) /
+              ("paladin_ioeq_" + tag + "_" + std::to_string(::getpid()) +
+               "_" + std::to_string(next_id()))) {
     fs::create_directories(path_);
   }
   ~ScratchDir() { fs::remove_all(path_); }
   const fs::path& path() const { return path_; }
 
  private:
+  static u64 next_id() {
+    static std::atomic<u64> counter{0};
+    return counter.fetch_add(1);
+  }
+
   fs::path path_;
 };
 

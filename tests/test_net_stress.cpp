@@ -212,5 +212,92 @@ TEST(NetStress, RepeatedRunsOnOneClusterObjectAreIndependent) {
   }
 }
 
+// ---------------------------------------------------------------------
+// Non-blocking mailbox primitives and credit-based flow control
+// ---------------------------------------------------------------------
+
+TEST(NetStress, MailboxTryReceiveAndDeliveryCounter) {
+  Mailbox box;
+  EXPECT_EQ(box.deliveries(), 0u);
+  EXPECT_FALSE(box.try_receive(kAnySource, kAnyTag).has_value());
+
+  Packet p;
+  p.source = 3;
+  p.tag = 7;
+  p.payload = {1, 2, 3, 4};
+  box.deliver(p);
+  EXPECT_EQ(box.deliveries(), 1u);
+  EXPECT_EQ(box.pending_bytes(), 4u);
+  EXPECT_EQ(box.max_pending_bytes(), 4u);
+
+  EXPECT_FALSE(box.try_receive(3, 8).has_value());  // wrong tag
+  EXPECT_FALSE(box.try_receive(2, 7).has_value());  // wrong source
+  auto got = box.try_receive(3, 7);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->payload.size(), 4u);
+  EXPECT_EQ(box.pending_bytes(), 0u);
+  EXPECT_EQ(box.max_pending_bytes(), 4u);  // high-water mark sticks
+  box.wait_deliveries_beyond(0);           // 1 > 0: returns immediately
+
+  box.poison();
+  EXPECT_THROW(box.try_receive(kAnySource, kAnyTag), MailboxPoisoned);
+  EXPECT_THROW(box.wait_deliveries_beyond(1), MailboxPoisoned);
+}
+
+TEST(NetStress, SlowReceiverInFlightBytesStayWithinCreditWindow) {
+  // A manual credit-window exchange against a deliberately slow consumer:
+  // the sender may have at most W un-acknowledged chunks in flight, so the
+  // receiver's inbox can never hold more than W data chunks no matter how
+  // far it lags.  (Before flow control, the eager sender would park all
+  // kChunks·kBytes here at once.)
+  constexpr u64 kChunks = 64;
+  constexpr u64 kBytes = 4096;
+  constexpr u64 kWindow = 3;
+  constexpr int kData = 11;
+  constexpr int kAck = 12;
+
+  Cluster cluster(ClusterConfig::homogeneous(2));
+  auto out = cluster.run([&](NodeContext& ctx) -> u64 {
+    if (ctx.rank() == 0) {
+      std::vector<u8> chunk(kBytes, 0xab);
+      for (u64 k = 0; k < kChunks; ++k) {
+        if (k >= kWindow) {
+          ctx.comm().recv_packet(1, kAck);  // credit for chunk k − W
+        }
+        ctx.comm().send_bytes(1, kData, std::span<const u8>(chunk));
+      }
+      return 0;
+    }
+    for (u64 k = 0; k < kChunks; ++k) {
+      // Lag behind the sender: drain other work before touching the inbox.
+      volatile int sink = 0;
+      for (int spin = 0; spin < 20000; ++spin) sink = spin;
+      (void)sink;
+      Packet p = ctx.comm().recv_packet(0, kData);
+      EXPECT_EQ(p.payload.size(), kBytes);
+      const u8 token = 0;
+      ctx.comm().send_bytes(0, kAck, std::span<const u8>(&token, 1));
+    }
+    return ctx.comm().inbox_peak_bytes();
+  });
+  EXPECT_LE(out.results[1], kWindow * kBytes);
+  EXPECT_GT(out.results[1], 0u);
+}
+
+TEST(NetStress, BufferPoolRecyclesPayloadCapacity) {
+  BufferPool pool;
+  EXPECT_EQ(pool.pooled(), 0u);
+  std::vector<u8> a = pool.acquire();
+  a.assign(1000, 7);
+  pool.release(std::move(a));
+  EXPECT_EQ(pool.pooled(), 1u);
+  std::vector<u8> b = pool.acquire();
+  EXPECT_TRUE(b.empty());
+  EXPECT_GE(b.capacity(), 1000u);  // capacity survived the round trip
+  EXPECT_EQ(pool.pooled(), 0u);
+  pool.release({});  // zero-capacity buffers are not pooled
+  EXPECT_EQ(pool.pooled(), 0u);
+}
+
 }  // namespace
 }  // namespace paladin::net
