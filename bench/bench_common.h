@@ -5,6 +5,8 @@
 //                 whole suite runs in a couple of minutes)
 //   --reps=N      repetitions per configuration (default 5; paper used 30)
 //   --workdir=P   put node scratch files on a real disk instead of RAM
+//   --obs-out=P   benches that support tracing write P.trace.json and
+//                 P.report.json for one representative configuration
 #pragma once
 
 #include <cstring>
@@ -23,6 +25,7 @@ struct BenchOptions {
   bool full = false;
   u32 reps = 5;
   std::filesystem::path workdir;
+  std::string obs_out;
 
   static BenchOptions parse(int argc, char** argv) {
     BenchOptions opt;
@@ -35,8 +38,11 @@ struct BenchOptions {
         opt.reps = static_cast<u32>(std::stoul(arg.substr(7)));
       } else if (arg.rfind("--workdir=", 0) == 0) {
         opt.workdir = arg.substr(10);
+      } else if (arg.rfind("--obs-out=", 0) == 0) {
+        opt.obs_out = arg.substr(10);
       } else if (arg == "--help" || arg == "-h") {
-        std::cout << "flags: --full  --reps=N  --workdir=PATH\n";
+        std::cout << "flags: --full  --reps=N  --workdir=PATH  "
+                     "--obs-out=PREFIX\n";
         std::exit(0);
       } else {
         std::cerr << "unknown flag: " << arg << "\n";

@@ -15,6 +15,7 @@
 
 #include "bench/bench_common.h"
 #include "core/ext_psrs.h"
+#include "core/sort_driver.h"
 #include "core/verify.h"
 #include "hetero/perf_vector.h"
 #include "metrics/expansion.h"
@@ -113,12 +114,19 @@ int run(const BenchOptions& opt) {
     const u64 n =
         algo_perf.homogeneous() ? n_homo : algo_perf.round_up_admissible(n_hetero);
 
+    // With --obs-out=PREFIX the paper's headline configuration — hetero
+    // perf {4,4,1,1} on Fast-Ethernet, pipelined, first repetition — is
+    // traced and exported (PREFIX.trace.json + PREFIX.report.json).
+    const bool obs_row = !opt.obs_out.empty() && row.perf == std::vector<u32>{4, 4, 1, 1} &&
+                         row.network.name == net::NetworkModel::fast_ethernet().name;
+
     auto run_mode = [&](bool pipelined) -> ModeOutcome {
       ModeOutcome mode_out;
       for (u32 rep = 0; rep < opt.reps; ++rep) {
         net::ClusterConfig config = base;  // true machine speeds {4,4,1,1}
         config.network = row.network;
         config.seed = 7100 + rep;
+        config.observe = obs_row && pipelined && rep == 0;
         net::Cluster cluster(config);
 
         workload::WorkloadSpec spec;
@@ -151,6 +159,22 @@ int run(const BenchOptions& opt) {
           out.sorted = core::verify_global_order<DefaultKey>(ctx, "sorted");
           return out;
         });
+
+        if (config.observe) {
+          obs::ClusterTrace trace = core::collect_cluster_trace(outcome);
+          trace.set_meta("tool", "bench_table3_parallel");
+          trace.set_meta("configuration", row.label);
+          trace.set_meta("mode", "pipelined");
+          trace.set_meta("records", std::to_string(n));
+          trace.set_meta("seed", std::to_string(config.seed));
+          if (core::write_obs_outputs(trace, opt.obs_out)) {
+            note("wrote " + opt.obs_out + ".trace.json and " + opt.obs_out +
+                 ".report.json");
+          } else {
+            std::cerr << "warning: failed to write --obs-out files under "
+                      << opt.obs_out << "\n";
+          }
+        }
 
         RowResult& acc = mode_out.acc;
         acc.time.add(outcome.makespan);

@@ -18,6 +18,7 @@
 #include "base/temp_dir.h"
 #include "core/ext_psrs.h"
 #include "core/scatter_gather.h"
+#include "core/sort_driver.h"
 #include "core/verify.h"
 #include "hetero/perf_vector.h"
 #include "metrics/expansion.h"
@@ -37,6 +38,7 @@ struct Options {
   u64 message_records = 8192;
   std::string net = "fast-ethernet";
   u64 demo_records = 0;
+  std::string obs_out;
 
   static void usage() {
     std::cout
@@ -44,7 +46,9 @@ struct Options {
            "             [--memory RECORDS] [--message RECORDS]\n"
            "             [--net fast-ethernet|myrinet|infinite]\n"
            "             [--demo N]   (generate N random keys instead of "
-           "--input)\n";
+           "--input)\n"
+           "             [--obs-out PREFIX]  (write PREFIX.trace.json + "
+           "PREFIX.report.json)\n";
   }
 
   static Options parse(int argc, char** argv) {
@@ -77,6 +81,8 @@ struct Options {
         opt.net = need_value(i);
       } else if (arg == "--demo") {
         opt.demo_records = std::stoull(need_value(i));
+      } else if (arg == "--obs-out") {
+        opt.obs_out = need_value(i);
       } else {
         usage();
         std::exit(arg == "--help" || arg == "-h" ? 0 : 2);
@@ -138,6 +144,8 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  config.observe = !opt.obs_out.empty();
+
   std::cout << "sorting " << original << " keys (padded to " << n
             << ") on " << perf.node_count() << " nodes, perf "
             << perf.to_string() << ", " << config.network.name << "\n";
@@ -192,6 +200,22 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  if (!opt.obs_out.empty()) {
+    obs::ClusterTrace trace = core::collect_cluster_trace(outcome);
+    trace.set_meta("tool", "paladin_sort");
+    trace.set_meta("algorithm", "ext-psrs");
+    trace.set_meta("perf", perf.to_string());
+    trace.set_meta("network", config.network.name);
+    trace.set_meta("records", std::to_string(n));
+    if (core::write_obs_outputs(trace, opt.obs_out)) {
+      std::cout << "wrote " << opt.obs_out << ".trace.json and "
+                << opt.obs_out << ".report.json\n";
+    } else {
+      std::cerr << "warning: failed to write --obs-out files under "
+                << opt.obs_out << "\n";
+    }
+  }
+
   t.print(std::cout);
   std::cout << "simulated makespan: " << outcome.makespan
             << " s; sublist expansion: "

@@ -106,6 +106,11 @@ ExtPsrsReport ext_psrs_sort(net::NodeContext& ctx,
   ExtPsrsReport report;
   report.local_records = ctx.disk().file_records<T>(config.input);
 
+  // Null unless ClusterConfig::observe is set; every helper below no-ops on
+  // null, so the untraced hot path only pays pointer tests.
+  obs::Tracer* const tr = ctx.obs();
+  if (tr) tr->counters().set("psrs.records_in", report.local_records);
+
   // The sampling arithmetic requires the Equation-2 share layout.
   const u64 n = comm.allreduce_sum(report.local_records);
   PALADIN_EXPECTS_MSG(perf.is_admissible(n),
@@ -116,31 +121,50 @@ ExtPsrsReport ext_psrs_sort(net::NodeContext& ctx,
 
   const double t0 = ctx.clock().now();
   const u64 io0 = ctx.disk().stats().total_block_ios();
+  obs::ScopedSpan sort_span(tr, "psrs.sort", "psrs");
 
   if (p == 1) {
     // Degenerate single-node "cluster": Algorithm 1 collapses to Step 1.
+    obs::ScopedSpan span(tr, "psrs.step1.seq_sort", "psrs");
     seq::external_sort<T, Less>(ctx.disk(), config.input, config.output,
-                                config.sequential, ctx, less);
+                                config.sequential, ctx, less, tr);
+    span.end();
     report.final_records = report.local_records;
     report.t_seq_sort = ctx.clock().now() - t0;
     report.io_seq_sort = ctx.disk().stats().total_block_ios() - io0;
     report.t_total = report.t_seq_sort;
     report.io_final_merge = 0;
+    span.arg("blocks", report.io_seq_sort);
+    if (tr) {
+      tr->counters().set("psrs.records_out", report.final_records);
+      tr->counters().set("psrs.io.seq_sort", report.io_seq_sort);
+      tr->snapshot("step1.seq_sort");
+    }
     return report;
   }
 
   // ---- Step 1: sequential external sort of the local share -----------
   const std::string sorted_local = config.output + ".step1";
-  seq::external_sort<T, Less>(ctx.disk(), config.input, sorted_local,
-                              config.sequential, ctx, less);
-  report.t_seq_sort = ctx.clock().now() - t0;
-  report.io_seq_sort = ctx.disk().stats().total_block_ios() - io0;
+  {
+    obs::ScopedSpan span(tr, "psrs.step1.seq_sort", "psrs");
+    seq::external_sort<T, Less>(ctx.disk(), config.input, sorted_local,
+                                config.sequential, ctx, less, tr);
+    span.end();
+    report.t_seq_sort = ctx.clock().now() - t0;
+    report.io_seq_sort = ctx.disk().stats().total_block_ios() - io0;
+    span.arg("blocks", report.io_seq_sort);
+  }
+  if (tr) {
+    tr->counters().set("psrs.io.seq_sort", report.io_seq_sort);
+    tr->snapshot("step1.seq_sort");
+  }
 
   // ---- Step 2: regular sampling & pivot selection ---------------------
   const double t1 = ctx.clock().now();
   const u64 io1 = ctx.disk().stats().total_block_ios();
   std::vector<T> pivots;
   {
+    obs::ScopedSpan span(tr, "psrs.step2.sampling", "psrs");
     const u64 off = perf.sample_stride(n, config.sampling_oversample);
     std::vector<T> samples;
     {
@@ -164,6 +188,11 @@ ExtPsrsReport ext_psrs_sort(net::NodeContext& ctx,
   }
   report.t_sampling = ctx.clock().now() - t1;
   report.io_sampling = ctx.disk().stats().total_block_ios() - io1;
+  if (tr) {
+    tr->counters().set("psrs.samples", report.samples_contributed);
+    tr->counters().set("psrs.io.sampling", report.io_sampling);
+    tr->snapshot("step2.sampling");
+  }
 
   if (config.pipelined) {
     // ---- Steps 3–5, fused: overlapped partition→send→merge ------------
@@ -172,14 +201,18 @@ ExtPsrsReport ext_psrs_sort(net::NodeContext& ctx,
     const u64 msg =
         clamped_message_records<T>(ctx.disk(), config.message_records);
     report.effective_message_records = msg;
+    obs::ScopedSpan span(tr, "psrs.steps3-5.pipeline", "psrs");
     const PipelineOutcome piped = pipelined_exchange_merge<T, Less>(
         ctx, sorted_local, config.output, std::span<const T>(pivots), msg,
         config.flow_window_chunks, less);
     if (!config.keep_intermediates) ctx.disk().remove(sorted_local);
+    span.end();
     report.final_records = piped.merged;
     report.messages_sent = piped.data_messages;
     report.t_pipeline = ctx.clock().now() - t2;
     report.io_pipeline = ctx.disk().stats().total_block_ios() - io2;
+    span.arg("blocks", report.io_pipeline);
+    span.arg("records", report.final_records);
     // The fused steps touch the disk once on each side — read the sorted
     // file (l_i records), write the final partition — which is the
     // ≈ Q/B + l_i/B bound the pipeline exists to meet.
@@ -188,6 +221,14 @@ ExtPsrsReport ext_psrs_sort(net::NodeContext& ctx,
                       ceil_div(report.final_records, rpb);
     PALADIN_ENSURES(report.io_pipeline <= bound + 2);
     report.t_total = ctx.clock().now() - t0;
+    if (tr) {
+      tr->counters().set("psrs.records_out", report.final_records);
+      tr->counters().set("psrs.messages_sent", report.messages_sent);
+      tr->counters().set("psrs.effective_message_records",
+                         report.effective_message_records);
+      tr->counters().set("psrs.io.pipeline", report.io_pipeline);
+      tr->snapshot("steps3-5.pipeline");
+    }
     return report;
   }
 
@@ -195,33 +236,56 @@ ExtPsrsReport ext_psrs_sort(net::NodeContext& ctx,
   const double t2 = ctx.clock().now();
   const u64 io2 = ctx.disk().stats().total_block_ios();
   const std::string part_prefix = config.output + ".step3";
-  partition_sorted_file<T, Less>(ctx.disk(), sorted_local, part_prefix,
-                                 std::span<const T>(pivots), ctx, less);
-  if (!config.keep_intermediates) ctx.disk().remove(sorted_local);
-  report.t_partition = ctx.clock().now() - t2;
-  report.io_partition = ctx.disk().stats().total_block_ios() - io2;
+  {
+    obs::ScopedSpan span(tr, "psrs.step3.partition", "psrs");
+    partition_sorted_file<T, Less>(ctx.disk(), sorted_local, part_prefix,
+                                   std::span<const T>(pivots), ctx, less);
+    if (!config.keep_intermediates) ctx.disk().remove(sorted_local);
+    span.end();
+    report.t_partition = ctx.clock().now() - t2;
+    report.io_partition = ctx.disk().stats().total_block_ios() - io2;
+    span.arg("blocks", report.io_partition);
+  }
+  if (tr) {
+    tr->counters().set("psrs.io.partition", report.io_partition);
+    tr->snapshot("step3.partition");
+  }
 
   // ---- Step 4: redistribution -----------------------------------------
   const double t3 = ctx.clock().now();
   const u64 io3 = ctx.disk().stats().total_block_ios();
   const std::string recv_prefix = config.output + ".step4";
-  const RedistributeResult exchanged = redistribute_partitions<T>(
-      ctx, part_prefix, recv_prefix, config.message_records,
-      config.flow_window_chunks);
-  report.messages_sent = exchanged.messages;
-  report.effective_message_records = exchanged.effective_message_records;
-  if (!config.keep_intermediates) {
-    for (u32 j = 0; j < p; ++j) {
-      if (j != rank) ctx.disk().remove(partition_name(part_prefix, j));
+  {
+    obs::ScopedSpan span(tr, "psrs.step4.redistribute", "psrs");
+    const RedistributeResult exchanged = redistribute_partitions<T>(
+        ctx, part_prefix, recv_prefix, config.message_records,
+        config.flow_window_chunks);
+    report.messages_sent = exchanged.messages;
+    report.effective_message_records = exchanged.effective_message_records;
+    if (!config.keep_intermediates) {
+      for (u32 j = 0; j < p; ++j) {
+        if (j != rank) ctx.disk().remove(partition_name(part_prefix, j));
+      }
     }
+    span.end();
+    report.t_redistribute = ctx.clock().now() - t3;
+    report.io_redistribute = ctx.disk().stats().total_block_ios() - io3;
+    span.arg("blocks", report.io_redistribute);
+    span.arg("messages", report.messages_sent);
   }
-  report.t_redistribute = ctx.clock().now() - t3;
-  report.io_redistribute = ctx.disk().stats().total_block_ios() - io3;
+  if (tr) {
+    tr->counters().set("psrs.messages_sent", report.messages_sent);
+    tr->counters().set("psrs.effective_message_records",
+                       report.effective_message_records);
+    tr->counters().set("psrs.io.redistribute", report.io_redistribute);
+    tr->snapshot("step4.redistribute");
+  }
 
   // ---- Step 5: final merge of the p sorted runs ------------------------
   const double t4 = ctx.clock().now();
   const u64 io4 = ctx.disk().stats().total_block_ios();
   {
+    obs::ScopedSpan span(tr, "psrs.step5.final_merge", "psrs");
     // Runs: the local partition we kept plus one file per peer.
     std::vector<std::string> run_files;
     run_files.reserve(p);
@@ -235,10 +299,18 @@ ExtPsrsReport ext_psrs_sort(net::NodeContext& ctx,
     if (!config.keep_intermediates) {
       for (const std::string& f : run_files) ctx.disk().remove(f);
     }
+    span.end();
+    report.t_final_merge = ctx.clock().now() - t4;
+    report.io_final_merge = ctx.disk().stats().total_block_ios() - io4;
+    span.arg("blocks", report.io_final_merge);
+    span.arg("records", report.final_records);
   }
-  report.t_final_merge = ctx.clock().now() - t4;
-  report.io_final_merge = ctx.disk().stats().total_block_ios() - io4;
   report.t_total = ctx.clock().now() - t0;
+  if (tr) {
+    tr->counters().set("psrs.records_out", report.final_records);
+    tr->counters().set("psrs.io.final_merge", report.io_final_merge);
+    tr->snapshot("step5.final_merge");
+  }
   return report;
 }
 

@@ -42,6 +42,7 @@
 #include "core/partition_file.h"
 #include "net/cluster.h"
 #include "net/virtual_clock.h"
+#include "obs/trace.h"
 #include "pdm/typed_io.h"
 #include "seq/loser_tree.h"
 
@@ -123,6 +124,22 @@ PipelineOutcome pipelined_exchange_merge(net::NodeContext& ctx,
   StreamMeter send_meter(send_clock, ctx.config().cost, ctx.speed());
   StreamMeter merge_meter(merge_clock, ctx.config().cost, ctx.speed());
 
+  // One span per stream, on its own track, stamped from its own clock.
+  // Everything recorded below is a deterministic function of the stream
+  // orders (the k-th chunk to dst, the ack consumed when a chunk needs its
+  // credit), never of physical arrival order, so traces stay bitwise
+  // reproducible.  In particular we do NOT count credit-gate retries: how
+  // often try_recv comes back empty depends on thread scheduling.
+  obs::Tracer* const tr = ctx.obs();
+  obs::Tracer::SpanId send_span = 0;
+  obs::Tracer::SpanId merge_span = 0;
+  if (tr) {
+    send_span = tr->open_at("pipeline.send", "pipeline", send_clock.now(),
+                            obs::Track::kSend);
+    merge_span = tr->open_at("pipeline.merge", "pipeline", merge_clock.now(),
+                             obs::Track::kMerge);
+  }
+
   PipelineOutcome out;
 
   {
@@ -171,6 +188,7 @@ PipelineOutcome pipelined_exchange_merge(net::NodeContext& ctx,
           while (sent[dst] - acked[dst] >= window_chunks) {
             if (comm.try_recv_packet_on(send_clock, dst, kTagPipelineAck)) {
               ++acked[dst];
+              if (tr) tr->counters().add("pipeline.acks_consumed", 1);
             } else {
               stalled = true;
               break;
@@ -181,11 +199,17 @@ PipelineOutcome pipelined_exchange_merge(net::NodeContext& ctx,
                              std::move(staged));
           ++sent[dst];
           ++out.data_messages;
+          if (tr) {
+            tr->counters().add("pipeline.chunks_sent", 1);
+            tr->instant_at("pipeline.chunk->" + std::to_string(dst),
+                           "pipeline", send_clock.now(), obs::Track::kSend);
+          }
         } else {
           // End-of-stream: empty payload, credit-exempt, never acked.
           PALADIN_ASSERT(staged.empty());
           comm.isend_payload(send_clock, dst, kTagPipelineData,
                              std::move(staged));
+          if (tr) tr->counters().add("pipeline.eos_sent", 1);
         }
         have_staged = false;
         progress = true;
@@ -244,6 +268,13 @@ PipelineOutcome pipelined_exchange_merge(net::NodeContext& ctx,
       [&ctx, divisor](double s) { ctx.clock().advance(s / divisor); });
   out.send_finish = send_clock.now();
   out.merge_finish = merge_clock.now();
+  if (tr) {
+    tr->counters().add("pipeline.records_merged", out.merged);
+    tr->arg(send_span, "chunks_sent", out.data_messages);
+    tr->arg(merge_span, "records_merged", out.merged);
+    tr->close_at(send_span, send_clock.now());
+    tr->close_at(merge_span, merge_clock.now());
+  }
   ctx.clock().merge(send_clock.now());
   ctx.clock().merge(merge_clock.now());
   return out;

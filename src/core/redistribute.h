@@ -96,6 +96,7 @@ RedistributeResult redistribute_partitions(net::NodeContext& ctx,
   result.received_records.assign(p, 0);
   result.effective_message_records = message_records;
 
+  obs::Tracer* const tr = ctx.obs();
   std::vector<T> chunk;
   chunk.reserve(message_records);
   for (u32 offset = 1; offset < p; ++offset) {
@@ -123,6 +124,7 @@ RedistributeResult redistribute_partitions(net::NodeContext& ctx,
         if (k >= window_chunks) {
           // Credit: dst has consumed chunk k−W.
           comm.recv_packet(dst, kTagAck);
+          if (tr) tr->counters().add("redistribute.acks_consumed", 1);
         }
         const u64 take = std::min<u64>(message_records, send_count - sent);
         chunk.resize(take);
@@ -131,6 +133,7 @@ RedistributeResult redistribute_partitions(net::NodeContext& ctx,
         comm.send_records<T>(dst, kTagData, chunk);
         ++result.messages;
         sent += take;
+        if (tr) tr->counters().add("redistribute.chunks_sent", 1);
       }
       if (k < recv_chunks) {
         std::vector<T> data = comm.recv_records<T>(src, kTagData);
@@ -138,6 +141,7 @@ RedistributeResult redistribute_partitions(net::NodeContext& ctx,
         writer.push_span(std::span<const T>(data));
         got += data.size();
         comm.send_value<u8>(src, kTagAck, 0);
+        if (tr) tr->counters().add("redistribute.acks_sent", 1);
       }
     }
     writer.flush();

@@ -16,8 +16,36 @@
 #include "core/ext_psrs.h"
 #include "hetero/perf_vector.h"
 #include "net/cluster.h"
+#include "obs/export.h"
 
 namespace paladin::core {
+
+/// Assembles the exporters' input from a finished observed run: every
+/// node's harvested trace (ClusterConfig::observe must have been set) plus
+/// the makespan.  Callers add run metadata via ClusterTrace::set_meta.
+template <typename R>
+obs::ClusterTrace collect_cluster_trace(const net::RunOutcome<R>& outcome) {
+  obs::ClusterTrace trace;
+  trace.makespan = outcome.makespan;
+  for (const net::NodeReport& n : outcome.nodes) {
+    if (n.trace) trace.nodes.push_back(*n.trace);
+  }
+  return trace;
+}
+
+/// The --obs-out contract shared by the CLI and the benches: writes
+/// `<prefix>.trace.json` (Chrome trace_event, for Perfetto) and
+/// `<prefix>.report.json` (RunReport).  Returns false if either write
+/// failed.
+inline bool write_obs_outputs(const obs::ClusterTrace& trace,
+                              const std::string& prefix) {
+  bool ok = obs::write_text_file(prefix + ".trace.json",
+                                 obs::chrome_trace_json(trace));
+  ok = obs::write_text_file(prefix + ".report.json",
+                            obs::run_report_json(trace)) &&
+       ok;
+  return ok;
+}
 
 enum class ParallelSortAlgorithm : u8 {
   kExtPsrs,          ///< the paper's Algorithm 1 (default)

@@ -26,6 +26,36 @@ NodeContext::NodeContext(const ClusterConfig& config, Fabric& fabric, u32 rank)
       config.cost.scale_disk_with_speed ? speed() : 1.0;
   disk_.set_cost_sink(
       [this, divisor](double seconds) { clock_.advance(seconds / divisor); });
+  if (obs::kCompiledIn && config.observe) {
+    tracer_ = std::make_unique<obs::Tracer>(this);
+  }
+}
+
+void NodeContext::fold_counters_into_tracer() {
+  obs::Tracer* tr = obs();
+  if (tr == nullptr) return;
+  obs::CounterRegistry& c = tr->counters();
+  const pdm::IoStats& io = disk_.stats();
+  c.set("io.blocks_read", io.blocks_read);
+  c.set("io.blocks_written", io.blocks_written);
+  c.set("io.bytes_read", io.bytes_read);
+  c.set("io.bytes_written", io.bytes_written);
+  c.set("io.files_created", io.files_created);
+  c.set("io.files_removed", io.files_removed);
+  if (const pdm::IoExecutor* exec = disk_.executor_peek()) {
+    c.set("io.exec.jobs", exec->jobs_submitted());
+  }
+  const CommStats& net = comm_.stats();
+  c.set("net.messages_sent", net.messages_sent);
+  c.set("net.bytes_sent", net.bytes_sent);
+  c.set("net.messages_received", net.messages_received);
+  c.set("net.bytes_received", net.bytes_received);
+  c.set("net.self_deliveries", net.self_deliveries);
+  // Inbox occupancy (Mailbox::deliveries / max_pending_bytes) is deliberately
+  // NOT folded in: how many packets sit queued at once depends on physical
+  // thread scheduling, and traces must stay bitwise-identical per
+  // (seed, config).  Those remain reachable via Communicator for diagnostics.
+  c.set("pdm.block_bytes", disk_.params().block_bytes);
 }
 
 }  // namespace paladin::net

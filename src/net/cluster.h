@@ -22,6 +22,7 @@
 #include "net/cost_model.h"
 #include "net/network_model.h"
 #include "net/virtual_clock.h"
+#include "obs/trace.h"
 #include "pdm/disk.h"
 
 namespace paladin::net {
@@ -45,6 +46,12 @@ struct ClusterConfig {
   /// Master seed; node i draws from an independent stream derived from it.
   u64 seed = 42;
 
+  /// When set, each node carries an obs::Tracer: algorithms record
+  /// phase spans and counters, and Cluster::run harvests a NodeTrace per
+  /// node into its NodeReport.  Spans only read the virtual clocks, so
+  /// turning this on cannot change any simulated time or I/O count.
+  bool observe = false;
+
   u32 node_count() const { return static_cast<u32>(perf.size()); }
 
   /// Homogeneous cluster of `p` speed-1 nodes.
@@ -65,8 +72,9 @@ struct ClusterConfig {
 
 /// Everything one node's code can touch.  Implements Meter so algorithms
 /// charge their counted work here; charges are priced by the cost model and
-/// divided by the node's speed factor.
-class NodeContext final : public Meter {
+/// divided by the node's speed factor.  Also implements obs::TimeSource so
+/// a tracer's default timestamps read this node's clock.
+class NodeContext final : public Meter, public obs::TimeSource {
  public:
   NodeContext(const ClusterConfig& config, Fabric& fabric, u32 rank);
 
@@ -80,6 +88,23 @@ class NodeContext final : public Meter {
   pdm::Disk& disk() { return disk_; }
   VirtualClock& clock() { return clock_; }
   Xoshiro256& rng() { return rng_; }
+
+  /// obs::TimeSource: the node clock, in virtual seconds.
+  double now() const override { return clock_.now(); }
+
+  /// The node's tracer, or nullptr when ClusterConfig::observe is off (or
+  /// observability is compiled out) — all obs helpers no-op on nullptr.
+  obs::Tracer* obs() {
+    if constexpr (obs::kCompiledIn) return tracer_.get();
+    return nullptr;
+  }
+
+  /// Folds the node's scattered accounting (IoStats, CommStats, mailbox
+  /// high-water marks, IoExecutor job totals, block geometry) into the
+  /// tracer's counter registry under the names listed in
+  /// docs/OBSERVABILITY.md.  Called by Cluster::run after the node body
+  /// returns; safe to call earlier for a mid-run snapshot (set semantics).
+  void fold_counters_into_tracer();
 
   // Meter: priced, speed-scaled charges.
   void on_compares(u64 n) override {
@@ -99,12 +124,16 @@ class NodeContext final : public Meter {
   Communicator comm_;
   pdm::Disk disk_;
   Xoshiro256 rng_;
+  std::unique_ptr<obs::Tracer> tracer_;
 };
 
 /// Per-run outcome of one node.
 struct NodeReport {
   double finish_time = 0.0;  ///< node's virtual clock at the end of its work
   pdm::IoStats io;
+  /// Harvested trace; non-null only when ClusterConfig::observe was set.
+  /// shared_ptr because NodeReport must stay cheaply copyable.
+  std::shared_ptr<const obs::NodeTrace> trace;
 };
 
 template <typename R>
@@ -151,6 +180,11 @@ class Cluster {
           results[i] = body(ctx);
           reports[i].finish_time = ctx.clock().now();
           reports[i].io = ctx.disk().stats();
+          if (obs::Tracer* tr = ctx.obs()) {
+            ctx.fold_counters_into_tracer();
+            reports[i].trace =
+                std::make_shared<const obs::NodeTrace>(tr->take(i));
+          }
         } catch (...) {
           errors[i] = std::current_exception();
           fabric.abort_all();

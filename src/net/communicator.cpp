@@ -22,8 +22,11 @@ void Communicator::deliver_payload(VirtualClock& clk, u32 dst, int tag,
   p.source = static_cast<int>(rank_);
   p.tag = tag;
   p.payload = std::move(payload);
+  ++stats_.messages_sent;
+  stats_.bytes_sent += p.payload.size();
   if (dst == rank_) {
     // Self-delivery: no wire, no cost.
+    ++stats_.self_deliveries;
     p.arrival_time = clk.now();
   } else {
     const NetworkModel& net = fabric_->model();
@@ -45,6 +48,8 @@ void Communicator::isend_payload(VirtualClock& clk, u32 dst, int tag,
 }
 
 void Communicator::charge_receive(VirtualClock& clk, const Packet& p) {
+  ++stats_.messages_received;
+  stats_.bytes_received += p.payload.size();
   clk.merge(p.arrival_time);
   if (p.source != static_cast<int>(rank_)) {
     clk.advance(fabric_->model().per_message_overhead_seconds);

@@ -66,6 +66,19 @@ class Fabric {
   BufferPool pool_;
 };
 
+/// Per-rank traffic totals, maintained on the two funnels every send and
+/// receive already pass through (deliver_payload / charge_receive), so the
+/// counts cannot diverge from the cost arithmetic.  Self-deliveries are
+/// included in message/byte totals and broken out separately because they
+/// are free in simulated time.
+struct CommStats {
+  u64 messages_sent = 0;
+  u64 bytes_sent = 0;
+  u64 messages_received = 0;
+  u64 bytes_received = 0;
+  u64 self_deliveries = 0;
+};
+
 class Communicator {
  public:
   Communicator(Fabric& fabric, u32 rank, VirtualClock& clock)
@@ -121,6 +134,9 @@ class Communicator {
 
   /// Shared payload-buffer pool of the fabric.
   BufferPool& pool() { return fabric_->pool(); }
+
+  /// Cumulative traffic totals for this rank (sends + receives).
+  const CommStats& stats() const { return stats_; }
 
   std::vector<u8> recv_bytes(u32 src, int tag) {
     return recv_packet(src, tag).payload;
@@ -345,6 +361,7 @@ class Communicator {
   Fabric* fabric_;
   u32 rank_;
   VirtualClock* clock_;
+  CommStats stats_;
 };
 
 }  // namespace paladin::net

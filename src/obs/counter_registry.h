@@ -1,0 +1,76 @@
+// Named-counter registry: the single place where a node's scattered
+// accounting — IoStats block counts, mailbox/credit traffic, clamped
+// message sizes, per-step PSRS totals — is unified behind string-named
+// counters for export (docs/OBSERVABILITY.md lists the taxonomy).
+// Counters keep insertion order so every export is deterministic; a
+// snapshot captures the whole registry at a labelled point in virtual
+// time, which is how per-phase deltas are derived without per-operation
+// hooks on the hot paths.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "base/contracts.h"
+#include "base/types.h"
+
+namespace paladin::obs {
+
+/// One labelled copy of the registry, taken at a known virtual time.
+struct CounterSnapshot {
+  std::string label;
+  double at = 0.0;  ///< virtual seconds when the snapshot was taken
+  std::vector<std::pair<std::string, u64>> values;
+};
+
+class CounterRegistry {
+ public:
+  /// Adds `delta` to the named counter, creating it at zero first.
+  void add(std::string_view name, u64 delta) { slot(name) += delta; }
+
+  /// Overwrites the named counter (used when folding in counters that are
+  /// maintained elsewhere, e.g. IoStats at end of run).
+  void set(std::string_view name, u64 value) { slot(name) = value; }
+
+  /// Current value; zero for a counter never touched.
+  u64 value(std::string_view name) const {
+    auto it = index_.find(std::string(name));
+    return it == index_.end() ? 0 : entries_[it->second].second;
+  }
+
+  bool contains(std::string_view name) const {
+    return index_.find(std::string(name)) != index_.end();
+  }
+
+  /// All counters, in first-touch order (deterministic per program path).
+  const std::vector<std::pair<std::string, u64>>& entries() const {
+    return entries_;
+  }
+
+  /// Copies the current state into a labelled snapshot.
+  CounterSnapshot snapshot(std::string label, double at) const {
+    CounterSnapshot s;
+    s.label = std::move(label);
+    s.at = at;
+    s.values = entries_;
+    return s;
+  }
+
+ private:
+  u64& slot(std::string_view name) {
+    auto it = index_.find(std::string(name));
+    if (it == index_.end()) {
+      entries_.emplace_back(std::string(name), 0);
+      it = index_.emplace(std::string(name), entries_.size() - 1).first;
+    }
+    return entries_[it->second].second;
+  }
+
+  std::vector<std::pair<std::string, u64>> entries_;
+  std::unordered_map<std::string, std::size_t> index_;
+};
+
+}  // namespace paladin::obs

@@ -115,6 +115,10 @@ class Disk {
   /// Started lazily so sync-only disks never spawn a thread.
   IoExecutor* executor();
 
+  /// The executor if one was already spawned, else nullptr.  Never spawns
+  /// the worker — safe for read-only inspection (counter harvest).
+  const IoExecutor* executor_peek() const { return executor_.get(); }
+
  private:
   std::unique_ptr<FileBackend> backend_;
   DiskParams params_;

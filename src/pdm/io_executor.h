@@ -45,10 +45,17 @@ class IoExecutor {
   /// Blocks until the queue is empty and the worker is idle.
   void drain();
 
+  /// Jobs submitted so far (queued or finished); read by the observability
+  /// harvest after a run drains.
+  u64 jobs_submitted() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return next_ticket_ - 1;
+  }
+
  private:
   void worker_loop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable work_ready_;
   std::condition_variable work_done_;
   std::deque<std::pair<Ticket, std::function<void()>>> queue_;

@@ -11,6 +11,7 @@
 
 #include "base/meter.h"
 #include "base/types.h"
+#include "obs/trace.h"
 #include "pdm/pdm_math.h"
 #include "pdm/typed_io.h"
 #include "seq/cascade.h"
@@ -57,18 +58,21 @@ template <Record T, typename Less = std::less<T>>
 ExternalSortResult external_sort(pdm::Disk& disk, const std::string& input,
                                  const std::string& output,
                                  const ExternalSortConfig& config, Meter& meter,
-                                 Less less = {}) {
+                                 Less less = {},
+                                 obs::Tracer* tracer = nullptr) {
   PALADIN_EXPECTS(input != output);
   ExternalSortResult result;
   const u64 records = disk.file_records<T>(input);
   result.records = records;
 
   if (config.allow_in_memory && records <= config.memory_records) {
+    obs::ScopedSpan span(tracer, "seq.in_memory_sort", "seq");
     std::vector<T> data = pdm::read_file<T>(disk, input);
     metered_sort(std::span<T>(data), meter, less);
     pdm::write_file<T>(disk, output, std::span<const T>(data));
     result.initial_runs = records > 0 ? 1 : 0;
     result.sorted_in_memory = true;
+    span.arg("records", records);
     return result;
   }
 
@@ -83,7 +87,8 @@ ExternalSortResult external_sort(pdm::Disk& disk, const std::string& input,
       pc.tape_count = std::max<u32>(3, affordable);
       pc.run_formation = config.run_formation;
       const PolyphaseResult pr =
-          polyphase_sort<T, Less>(disk, input, output, pc, meter, less);
+          polyphase_sort<T, Less>(disk, input, output, pc, meter, less,
+                                  tracer);
       result.initial_runs = pr.initial_runs;
       result.merge_passes = pr.merge_phases;
       return result;

@@ -17,6 +17,7 @@
 #include "base/math_util.h"
 #include "base/meter.h"
 #include "base/types.h"
+#include "obs/trace.h"
 #include "pdm/typed_io.h"
 #include "seq/cursors.h"
 #include "seq/kway_merge.h"
@@ -135,7 +136,8 @@ template <Record T, typename Less = std::less<T>>
 PolyphaseResult polyphase_sort(pdm::Disk& disk, const std::string& input,
                                const std::string& output,
                                const PolyphaseConfig& config, Meter& meter,
-                               Less less = {}) {
+                               Less less = {},
+                               obs::Tracer* tracer = nullptr) {
   PALADIN_EXPECTS(input != output);
   PALADIN_EXPECTS(config.tape_count >= 3);
   PALADIN_EXPECTS_MSG(
@@ -148,12 +150,16 @@ PolyphaseResult polyphase_sort(pdm::Disk& disk, const std::string& input,
   const std::string runs_name = output + ".runs";
   RunLayout layout;
   {
+    obs::ScopedSpan span(tracer, "seq.run_formation", "seq");
     pdm::BlockFile in_file = disk.open(input);
     pdm::BlockReader<T> reader(in_file);
     pdm::BlockFile runs_file = disk.create(runs_name);
     pdm::BlockWriter<T> writer(runs_file);
     layout = form_runs<T, Less>(config.run_formation, reader, writer,
                                 config.memory_records, meter, less);
+    span.end();
+    span.arg("runs", layout.run_count());
+    span.arg("records", layout.total_records);
   }
   result.records = layout.total_records;
   result.initial_runs = layout.run_count();
@@ -200,6 +206,7 @@ PolyphaseResult polyphase_sort(pdm::Disk& disk, const std::string& input,
 
   // Stream the runs file once, copying real runs onto their tapes.
   {
+    obs::ScopedSpan span(tracer, "seq.polyphase.distribute", "seq");
     pdm::BlockFile runs_file = disk.open(runs_name);
     pdm::BlockReader<T> reader(runs_file);
     u64 next_run = 0;
@@ -225,6 +232,9 @@ PolyphaseResult polyphase_sort(pdm::Disk& disk, const std::string& input,
   // ---- Merge phases --------------------------------------------------
   u32 out_index = k;
   for (;;) {
+    obs::ScopedSpan phase_span(
+        tracer,
+        "seq.polyphase.phase" + std::to_string(result.merge_phases), "seq");
     // Input tapes this phase: all but the output tape.
     std::vector<u32> inputs;
     for (u32 j = 0; j < config.tape_count; ++j) {
@@ -281,6 +291,8 @@ PolyphaseResult polyphase_sort(pdm::Disk& disk, const std::string& input,
       if (!final_phase) out_tape.append_run_length(merged);
     }
     ++result.merge_phases;
+    phase_span.arg("steps", steps);
+    phase_span.arg("final", final_phase ? 1 : 0);
 
     if (final_phase) {
       final_writer->flush();

@@ -5,7 +5,9 @@
 // message_records block clamping, and the flow-controlled legacy exchange.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "base/checksum.h"
@@ -17,6 +19,7 @@
 #include "core/verify.h"
 #include "hetero/perf_vector.h"
 #include "net/cluster.h"
+#include "obs/trace.h"
 #include "pdm/typed_io.h"
 #include "workload/generators.h"
 
@@ -43,10 +46,12 @@ struct SortRun {
   std::vector<bool> permuted;
   double makespan = 0.0;
   std::vector<double> finish_times;
+  std::vector<std::shared_ptr<const obs::NodeTrace>> traces;  ///< observed only
 };
 
 SortRun run_sort(const std::vector<u32>& perf_values, Dist dist, u64 k,
-                 bool pipelined, u64 message_records = 64) {
+                 bool pipelined, u64 message_records = 64,
+                 bool observe = false) {
   PerfVector perf(perf_values);
   const u64 n = perf.admissible_size(k);
 
@@ -54,6 +59,7 @@ SortRun run_sort(const std::vector<u32>& perf_values, Dist dist, u64 k,
   config.perf = perf_values;
   config.disk = tiny_blocks();
   config.seed = 1000 + k;
+  config.observe = observe;
   Cluster cluster(config);
 
   WorkloadSpec spec;
@@ -97,8 +103,16 @@ SortRun run_sort(const std::vector<u32>& perf_values, Dist dist, u64 k,
     run.sorted.push_back(outcome.results[i].sorted);
     run.permuted.push_back(outcome.results[i].permuted);
     run.finish_times.push_back(outcome.nodes[i].finish_time);
+    run.traces.push_back(outcome.nodes[i].trace);
   }
   return run;
+}
+
+u64 trace_counter(const obs::NodeTrace& node, std::string_view name) {
+  for (const auto& [k, v] : node.counters) {
+    if (k == name) return v;
+  }
+  return 0;
 }
 
 // ---------------------------------------------------------------------
@@ -155,6 +169,33 @@ TEST(Pipeline, AllDuplicatesMeansEmptyPartitions) {
     EXPECT_EQ(piped.reports[i].final_records, 0u) << "node " << i;
     EXPECT_TRUE(piped.sorted[i]);
   }
+}
+
+// Both modes move the same data: per node, the observed counters for
+// records entering (the node's share) and records leaving steps 3–5 (the
+// final slice) must agree exactly between phased and pipelined runs.
+TEST(Pipeline, CounterTotalsForRecordsMovedMatchPhased) {
+  const std::vector<u32> perf = {4, 4, 1, 1};
+  const SortRun phased =
+      run_sort(perf, Dist::kUniform, 25, /*pipelined=*/false, 64, true);
+  const SortRun piped =
+      run_sort(perf, Dist::kUniform, 25, /*pipelined=*/true, 64, true);
+  u64 total_in = 0, total_out = 0;
+  for (u32 i = 0; i < perf.size(); ++i) {
+    ASSERT_NE(phased.traces[i], nullptr);
+    ASSERT_NE(piped.traces[i], nullptr);
+    EXPECT_EQ(trace_counter(*piped.traces[i], "psrs.records_in"),
+              trace_counter(*phased.traces[i], "psrs.records_in"))
+        << "node " << i;
+    EXPECT_EQ(trace_counter(*piped.traces[i], "psrs.records_out"),
+              trace_counter(*phased.traces[i], "psrs.records_out"))
+        << "node " << i;
+    total_in += trace_counter(*piped.traces[i], "psrs.records_in");
+    total_out += trace_counter(*piped.traces[i], "psrs.records_out");
+  }
+  // And cluster-wide, nothing is created or lost: in == out == N.
+  EXPECT_EQ(total_in, total_out);
+  EXPECT_EQ(total_in, PerfVector(perf).admissible_size(25));
 }
 
 // ---------------------------------------------------------------------
