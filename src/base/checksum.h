@@ -11,6 +11,17 @@
 
 namespace paladin {
 
+/// FNV-1a 64 over raw bytes, then mixed.  Shared by MultisetChecksum (per
+/// record) and the fault layer's block fingerprints (per disk block).
+inline u64 hash_bytes_fnv1a(const u8* p, std::size_t n) {
+  u64 h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return mix64(h);
+}
+
 /// Accumulates a commutative fingerprint of a multiset of records.  Two
 /// streams have equal fingerprints iff (with overwhelming probability) they
 /// contain the same records with the same multiplicities, regardless of
@@ -20,7 +31,7 @@ class MultisetChecksum {
  public:
   template <Record T>
   void add(const T& value) {
-    u64 h = hash_bytes(reinterpret_cast<const u8*>(&value), sizeof(T));
+    u64 h = hash_bytes_fnv1a(reinterpret_cast<const u8*>(&value), sizeof(T));
     sum_ += h;
     xorred_ ^= mix64(h);
     ++count_;
@@ -44,16 +55,6 @@ class MultisetChecksum {
   u64 digest() const { return mix64(sum_) ^ mix64(xorred_ + count_); }
 
  private:
-  static u64 hash_bytes(const u8* p, std::size_t n) {
-    // FNV-1a 64 over the record bytes, then mixed.
-    u64 h = 0xcbf29ce484222325ULL;
-    for (std::size_t i = 0; i < n; ++i) {
-      h ^= p[i];
-      h *= 0x100000001b3ULL;
-    }
-    return mix64(h);
-  }
-
   u64 sum_ = 0;
   u64 xorred_ = 0;
   u64 count_ = 0;

@@ -29,6 +29,17 @@ NodeContext::NodeContext(const ClusterConfig& config, Fabric& fabric, u32 rank)
   if (obs::kCompiledIn && config.observe) {
     tracer_ = std::make_unique<obs::Tracer>(this);
   }
+  if (fault::kCompiledIn && config.fault_plan.active()) {
+    fault_ = std::make_unique<fault::FaultInjector>(config.fault_plan, rank);
+    disk_.set_fault_injector(fault_.get());
+    comm_.set_fault_injector(fault_.get());
+    if (tracer_ != nullptr && config.trace_fault_events) {
+      obs::Tracer* tr = tracer_.get();
+      fault_->set_event_recorder([this, tr](std::string_view name, double t) {
+        tr->instant_at(std::string(name), "fault", t < 0.0 ? clock_.now() : t);
+      });
+    }
+  }
 }
 
 void NodeContext::fold_counters_into_tracer() {
@@ -56,6 +67,23 @@ void NodeContext::fold_counters_into_tracer() {
   // thread scheduling, and traces must stay bitwise-identical per
   // (seed, config).  Those remain reachable via Communicator for diagnostics.
   c.set("pdm.block_bytes", disk_.params().block_bytes);
+  if (fault::FaultInjector* fi = fault()) {
+    // Fault/recovery tallies (docs/ROBUSTNESS.md).  Registered only when a
+    // plan is active so empty-plan traces stay bit-identical to pre-fault
+    // builds (the registry export is insertion-ordered and name-complete).
+    const fault::FaultCounters& f = fi->counters();
+    c.set("fault.disk.read_faults", f.disk_read_faults);
+    c.set("fault.disk.write_faults", f.disk_write_faults);
+    c.set("fault.disk.corruptions", f.disk_corruptions);
+    c.set("fault.disk.read_retries", f.disk_read_retries);
+    c.set("fault.disk.write_retries", f.disk_write_retries);
+    c.set("fault.disk.rereads", f.disk_rereads);
+    c.set("fault.net.frames_dropped", f.net_frames_dropped);
+    c.set("fault.net.frames_duplicated", f.net_frames_duplicated);
+    c.set("fault.net.frames_delayed", f.net_frames_delayed);
+    c.set("fault.net.retransmits", f.net_retransmits);
+    c.set("fault.net.dups_discarded", f.net_dups_discarded);
+  }
 }
 
 }  // namespace paladin::net

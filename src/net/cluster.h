@@ -18,6 +18,7 @@
 #include "base/meter.h"
 #include "base/rng.h"
 #include "base/types.h"
+#include "fault/fault.h"
 #include "net/communicator.h"
 #include "net/cost_model.h"
 #include "net/network_model.h"
@@ -51,6 +52,20 @@ struct ClusterConfig {
   /// node into its NodeReport.  Spans only read the virtual clocks, so
   /// turning this on cannot change any simulated time or I/O count.
   bool observe = false;
+
+  /// Deterministic adversary (docs/ROBUSTNESS.md).  The default
+  /// (all-zero-rate) plan is provably a no-op: no hook ever consults the
+  /// injector, so digests, IoStats and traces are bit-identical to a build
+  /// without the fault layer.  The plan is cluster-wide so every sender
+  /// and receiver agree on whether message streams carry frame headers.
+  fault::FaultPlan fault_plan;
+
+  /// With observe, also record per-event fault instants (retries,
+  /// retransmissions) into the trace.  Off by default: inside the fused
+  /// pipeline the *recording order* of send- vs merge-stream events
+  /// depends on thread scheduling even though their timestamps do not, so
+  /// golden-trace comparisons must keep this off.
+  bool trace_fault_events = false;
 
   u32 node_count() const { return static_cast<u32>(perf.size()); }
 
@@ -99,6 +114,13 @@ class NodeContext final : public Meter, public obs::TimeSource {
     return nullptr;
   }
 
+  /// The node's fault injector, or nullptr when the plan is empty (or the
+  /// fault layer is compiled out with -DPALADIN_FAULT_ENABLED=0).
+  fault::FaultInjector* fault() {
+    if constexpr (fault::kCompiledIn) return fault_.get();
+    return nullptr;
+  }
+
   /// Folds the node's scattered accounting (IoStats, CommStats, mailbox
   /// high-water marks, IoExecutor job totals, block geometry) into the
   /// tracer's counter registry under the names listed in
@@ -125,12 +147,15 @@ class NodeContext final : public Meter, public obs::TimeSource {
   pdm::Disk disk_;
   Xoshiro256 rng_;
   std::unique_ptr<obs::Tracer> tracer_;
+  std::unique_ptr<fault::FaultInjector> fault_;
 };
 
 /// Per-run outcome of one node.
 struct NodeReport {
   double finish_time = 0.0;  ///< node's virtual clock at the end of its work
   pdm::IoStats io;
+  /// Injection/recovery tallies; all-zero unless a fault plan was active.
+  fault::FaultCounters faults;
   /// Harvested trace; non-null only when ClusterConfig::observe was set.
   /// shared_ptr because NodeReport must stay cheaply copyable.
   std::shared_ptr<const obs::NodeTrace> trace;
@@ -178,6 +203,14 @@ class Cluster {
         try {
           NodeContext ctx(config_, fabric, i);
           results[i] = body(ctx);
+          if (fault::FaultInjector* fi = ctx.fault()) {
+            // Duplicate frames trailing the last consumed message on their
+            // stream are still queued (both copies of a dup are delivered
+            // back-to-back, before the original could be consumed); sweep
+            // them so dups_discarded matches frames_duplicated cluster-wide.
+            ctx.comm().drain_discard_dups();
+            reports[i].faults = fi->counters();
+          }
           reports[i].finish_time = ctx.clock().now();
           reports[i].io = ctx.disk().stats();
           if (obs::Tracer* tr = ctx.obs()) {

@@ -2,7 +2,36 @@
 
 #include <algorithm>
 
+#include "fault/fault.h"
+
 namespace paladin::net {
+
+namespace {
+
+/// 8-byte little-endian sequence header prepended to every framed payload.
+constexpr std::size_t kFrameHeaderBytes = sizeof(u64);
+
+void frame_payload(std::vector<u8>& payload, u64 seq) {
+  u8 header[kFrameHeaderBytes];
+  std::memcpy(header, &seq, kFrameHeaderBytes);
+  payload.insert(payload.begin(), header, header + kFrameHeaderBytes);
+}
+
+u64 frame_seq(const Packet& p) {
+  PALADIN_ASSERT(p.payload.size() >= kFrameHeaderBytes);
+  u64 seq;
+  std::memcpy(&seq, p.payload.data(), kFrameHeaderBytes);
+  return seq;
+}
+
+}  // namespace
+
+void Communicator::set_fault_injector(fault::FaultInjector* injector) {
+  fault_ = injector;
+  if constexpr (fault::kCompiledIn) {
+    net_faults_ = fault_ != nullptr && fault_->plan().net_active();
+  }
+}
 
 void Communicator::send_bytes(u32 dst, int tag, std::span<const u8> bytes) {
   PALADIN_EXPECTS(dst < size());
@@ -25,18 +54,70 @@ void Communicator::deliver_payload(VirtualClock& clk, u32 dst, int tag,
   ++stats_.messages_sent;
   stats_.bytes_sent += p.payload.size();
   if (dst == rank_) {
-    // Self-delivery: no wire, no cost.
+    // Self-delivery: no wire, no cost — and no framing; the fault layer
+    // exempts self-sends (a thread cannot lose a message to itself).
     ++stats_.self_deliveries;
     p.arrival_time = clk.now();
-  } else {
-    const NetworkModel& net = fabric_->model();
-    const double wire =
-        static_cast<double>(p.payload.size()) / net.bandwidth_bytes_per_second;
-    // Sender pays the per-message software overhead plus the wire
-    // occupancy; the packet lands one latency after it left.
-    clk.advance(net.per_message_overhead_seconds + wire);
-    p.arrival_time = clk.now() + net.latency_seconds;
+    fabric_->mailbox(dst).deliver(std::move(p));
+    return;
   }
+  const NetworkModel& net = fabric_->model();
+  const double wire =
+      static_cast<double>(p.payload.size()) / net.bandwidth_bytes_per_second;
+  if constexpr (fault::kCompiledIn) {
+    if (net_faults_) {
+      const auto& spec = fault_->plan().net;
+      fault::FaultCounters& c = fault_->counters();
+      const u64 seq = send_seq_[stream_key(dst, tag)]++;
+      // Drops are sensed at the sender (the simulation stands in for the
+      // ack timeout): each lost copy costs the timeout wait plus a full
+      // retransmission before the surviving copy goes out below.
+      const u32 drops = fault_->frame_drops(dst, tag, seq);
+      for (u32 k = 0; k < drops; ++k) {
+        ++c.net_frames_dropped;
+        ++c.net_retransmits;
+        clk.advance(spec.retransmit_timeout_seconds +
+                    net.per_message_overhead_seconds + wire);
+        fault_->note_event("fault.net.retransmit", clk.now());
+      }
+      double delay = 0.0;
+      if (fault_->frame_delayed(dst, tag, seq)) {
+        ++c.net_frames_delayed;
+        delay = spec.delay_seconds;
+      }
+      // Duplicates model a spurious retransmission: only on non-empty
+      // logical payloads, because empty frames (pipelined EOS markers and
+      // tail acks) may legitimately never be consumed, and an unconsumed
+      // duplicate would never meet its discarding receiver.
+      const bool dup =
+          !p.payload.empty() && fault_->frame_duplicated(dst, tag, seq);
+      frame_payload(p.payload, seq);
+      clk.advance(net.per_message_overhead_seconds + wire);
+      p.arrival_time = clk.now() + net.latency_seconds + delay;
+      if (dup) {
+        ++c.net_frames_duplicated;
+        Packet copy;
+        copy.source = p.source;
+        copy.tag = p.tag;
+        copy.payload = p.payload;
+        // The spurious resend occupies the wire like the original and
+        // lands right behind it (same stream, FIFO mailbox).  Both copies
+        // are enqueued in one critical section so the receiver cannot
+        // consume the original and finish before the duplicate exists.
+        clk.advance(net.per_message_overhead_seconds + wire);
+        copy.arrival_time = clk.now() + net.latency_seconds + delay;
+        fabric_->mailbox(dst).deliver_with_duplicate(std::move(p),
+                                                     std::move(copy));
+        return;
+      }
+      fabric_->mailbox(dst).deliver(std::move(p));
+      return;
+    }
+  }
+  // Sender pays the per-message software overhead plus the wire
+  // occupancy; the packet lands one latency after it left.
+  clk.advance(net.per_message_overhead_seconds + wire);
+  p.arrival_time = clk.now() + net.latency_seconds;
   fabric_->mailbox(dst).deliver(std::move(p));
 }
 
@@ -56,24 +137,83 @@ void Communicator::charge_receive(VirtualClock& clk, const Packet& p) {
   }
 }
 
+bool Communicator::unframe_accept(Packet& p) {
+  if (p.source == static_cast<int>(rank_)) return true;  // never framed
+  const u64 seq = frame_seq(p);
+  u64& expected = recv_seq_[stream_key(static_cast<u32>(p.source), p.tag)];
+  if (seq < expected) {
+    // A duplicate of an already-delivered frame: discard.  This is the
+    // receiver half of the retransmission protocol and the recovery
+    // action the soak tier matches against net_frames_duplicated.
+    ++fault_->counters().net_dups_discarded;
+    return false;
+  }
+  // Per-(src, tag) FIFO delivery plus in-order sender sequencing make a
+  // gap impossible; anything else is a transport bug.
+  PALADIN_ASSERT(seq == expected);
+  ++expected;
+  p.payload.erase(p.payload.begin(),
+                  p.payload.begin() +
+                      static_cast<std::ptrdiff_t>(sizeof(u64)));
+  return true;
+}
+
+u64 Communicator::drain_discard_dups() {
+  if constexpr (!fault::kCompiledIn) return 0;
+  if (!net_faults_) return 0;
+  u64 discarded = 0;
+  // Anything still queued is either an unconsumed original (a tail ack or
+  // a trailing message the algorithm deliberately never received) or a
+  // duplicate queued behind its original.  Both copies of a duplicated
+  // frame are delivered back-to-back in deliver_payload and the mailbox
+  // pops in delivery order, so an original always drains before its dup;
+  // treating the drain of an original as its consumption (advancing the
+  // stream's expected seq) therefore exposes every trailing duplicate as
+  // seq < expected, exactly like the in-band discard.
+  while (std::optional<Packet> p =
+             fabric_->mailbox(rank_).try_receive(kAnySource, kAnyTag)) {
+    if (p->source == static_cast<int>(rank_)) continue;
+    const u64 seq = frame_seq(*p);
+    u64& expected = recv_seq_[stream_key(static_cast<u32>(p->source), p->tag)];
+    if (seq < expected) {
+      ++fault_->counters().net_dups_discarded;
+      ++discarded;
+    } else {
+      expected = seq + 1;
+    }
+  }
+  return discarded;
+}
+
 Packet Communicator::recv_packet(u32 src, int tag) {
   return recv_packet_on(*clock_, src, tag);
 }
 
 Packet Communicator::recv_packet_on(VirtualClock& clk, u32 src, int tag) {
   PALADIN_EXPECTS(src < size());
-  Packet p = fabric_->mailbox(rank_).receive(static_cast<int>(src), tag);
-  charge_receive(clk, p);
-  return p;
+  for (;;) {
+    Packet p = fabric_->mailbox(rank_).receive(static_cast<int>(src), tag);
+    if constexpr (fault::kCompiledIn) {
+      if (net_faults_ && !unframe_accept(p)) continue;
+    }
+    charge_receive(clk, p);
+    return p;
+  }
 }
 
 std::optional<Packet> Communicator::try_recv_packet_on(VirtualClock& clk,
                                                        u32 src, int tag) {
   PALADIN_EXPECTS(src < size());
-  std::optional<Packet> p =
-      fabric_->mailbox(rank_).try_receive(static_cast<int>(src), tag);
-  if (p.has_value()) charge_receive(clk, *p);
-  return p;
+  for (;;) {
+    std::optional<Packet> p =
+        fabric_->mailbox(rank_).try_receive(static_cast<int>(src), tag);
+    if (!p.has_value()) return std::nullopt;
+    if constexpr (fault::kCompiledIn) {
+      if (net_faults_ && !unframe_accept(*p)) continue;
+    }
+    charge_receive(clk, *p);
+    return p;
+  }
 }
 
 void Communicator::barrier() {
@@ -99,9 +239,14 @@ void Communicator::barrier() {
 }
 
 Packet Communicator::recv_internal(u32 src, int tag) {
-  Packet p = fabric_->mailbox(rank_).receive(static_cast<int>(src), tag);
-  charge_receive(*clock_, p);
-  return p;
+  for (;;) {
+    Packet p = fabric_->mailbox(rank_).receive(static_cast<int>(src), tag);
+    if constexpr (fault::kCompiledIn) {
+      if (net_faults_ && !unframe_accept(p)) continue;
+    }
+    charge_receive(*clock_, p);
+    return p;
+  }
 }
 
 double Communicator::allreduce_max(double value) {

@@ -15,6 +15,7 @@
 #include <optional>
 #include <span>
 #include <stdexcept>
+#include <unordered_map>
 #include <vector>
 
 #include "base/contracts.h"
@@ -23,6 +24,10 @@
 #include "net/mailbox.h"
 #include "net/network_model.h"
 #include "net/virtual_clock.h"
+
+namespace paladin::fault {
+class FaultInjector;
+}  // namespace paladin::fault
 
 namespace paladin::net {
 
@@ -135,8 +140,27 @@ class Communicator {
   /// Shared payload-buffer pool of the fabric.
   BufferPool& pool() { return fabric_->pool(); }
 
-  /// Cumulative traffic totals for this rank (sends + receives).
+  /// Cumulative traffic totals for this rank (sends + receives).  Always
+  /// counts *logical* messages and payload bytes: fault-injected
+  /// retransmissions, duplicate frames and sequencing headers are costed
+  /// and tallied by the fault layer, never here.
   const CommStats& stats() const { return stats_; }
+
+  /// Attach the node's fault injector (nullptr detaches).  With an active
+  /// net plan every non-self send is wrapped in a sequence-numbered frame;
+  /// dropped frames are retransmitted (charged a timeout + resend to the
+  /// sending clock), duplicates are discarded by the receiver's sequence
+  /// check, delays push the arrival timestamp.  The plan is cluster-wide,
+  /// so sender and receiver always agree on whether a stream is framed.
+  void set_fault_injector(fault::FaultInjector* injector);
+
+  /// Harvest-time sweep of this rank's inbox: discards (and counts) any
+  /// duplicate frames still queued behind the last message the algorithm
+  /// consumed on their stream.  Leftover non-duplicates (the pipelined
+  /// tail acks, which are empty and therefore never duplicated) are
+  /// dropped uncounted.  Returns the number of duplicates discarded.
+  /// Call only after the run completed (all sends done, no poison).
+  u64 drain_discard_dups();
 
   std::vector<u8> recv_bytes(u32 src, int tag) {
     return recv_packet(src, tag).payload;
@@ -273,6 +297,15 @@ class Communicator {
   /// Core receive-side accounting shared by the blocking and probing paths.
   void charge_receive(VirtualClock& clk, const Packet& p);
 
+  /// Stable key for one directed (peer, tag) message stream.
+  static u64 stream_key(u32 peer, int tag) {
+    return (u64{peer} << 32) ^ static_cast<u64>(static_cast<i64>(tag));
+  }
+  /// Receiver-side frame check: strips the sequence header and returns
+  /// true for a logical message, or counts-and-returns false for a
+  /// duplicate frame (payload left as-is, caller discards the packet).
+  bool unframe_accept(Packet& p);
+
   template <Record T>
   void send_value_internal(u32 dst, int tag, const T& value) {
     send_internal(dst, tag,
@@ -362,6 +395,13 @@ class Communicator {
   u32 rank_;
   VirtualClock* clock_;
   CommStats stats_;
+  fault::FaultInjector* fault_ = nullptr;
+  bool net_faults_ = false;  ///< cached fault_->plan().net_active()
+  /// Next sequence number per outgoing (dst, tag) stream / next expected
+  /// per incoming (src, tag) stream.  Single-threaded per rank by design
+  /// (each Communicator is owned by one node thread).
+  std::unordered_map<u64, u64> send_seq_;
+  std::unordered_map<u64, u64> recv_seq_;
 };
 
 }  // namespace paladin::net

@@ -50,6 +50,24 @@ class Mailbox {
     cv_.notify_all();
   }
 
+  /// Delivers a packet and its duplicate in one critical section, so no
+  /// receiver can ever observe (and consume) the original without its
+  /// duplicate already being queued behind it.  The fault layer needs this
+  /// atomicity for the frames_duplicated == dups_discarded invariant: with
+  /// two separate deliver() calls the receiver could consume the original,
+  /// finish its run and sweep its mailbox before the duplicate lands.
+  void deliver_with_duplicate(Packet packet, Packet duplicate) {
+    {
+      std::lock_guard lock(mutex_);
+      pending_bytes_ += packet.payload.size() + duplicate.payload.size();
+      max_pending_bytes_ = std::max(max_pending_bytes_, pending_bytes_);
+      deliveries_ += 2;
+      queue_.push_back(std::move(packet));
+      queue_.push_back(std::move(duplicate));
+    }
+    cv_.notify_all();
+  }
+
   /// Blocks until a packet matching (source, tag) arrives and removes it.
   /// Throws MailboxPoisoned if poison() was called (before or during the
   /// wait).

@@ -9,14 +9,20 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "base/checksum.h"
 #include "base/contracts.h"
 #include "base/types.h"
 #include "pdm/disk_params.h"
 #include "pdm/file_backend.h"
 #include "pdm/io_executor.h"
 #include "pdm/io_stats.h"
+
+namespace paladin::fault {
+class FaultInjector;
+}  // namespace paladin::fault
 
 namespace paladin::pdm {
 
@@ -28,7 +34,11 @@ class BlockFile {
  public:
   BlockFile() = default;
   BlockFile(Disk* disk, std::string name, std::unique_ptr<FileHandle> handle)
-      : disk_(disk), name_(std::move(name)), handle_(std::move(handle)) {}
+      : disk_(disk),
+        name_(std::move(name)),
+        name_hash_(hash_bytes_fnv1a(
+            reinterpret_cast<const u8*>(name_.data()), name_.size())),
+        handle_(std::move(handle)) {}
 
   BlockFile(BlockFile&&) = default;
   BlockFile& operator=(BlockFile&&) = default;
@@ -60,6 +70,7 @@ class BlockFile {
  private:
   Disk* disk_ = nullptr;
   std::string name_;
+  u64 name_hash_ = 0;
   std::unique_ptr<FileHandle> handle_;
 };
 
@@ -119,13 +130,43 @@ class Disk {
   /// the worker — safe for read-only inspection (counter harvest).
   const IoExecutor* executor_peek() const { return executor_.get(); }
 
+  /// Attach the node's fault injector (nullptr detaches).  With an active
+  /// disk fault plan this also forces synchronous I/O: overlapped transfers
+  /// run on the executor thread, where fault charges could not land on the
+  /// submitting stream's clock deterministically.
+  void set_fault_injector(fault::FaultInjector* injector);
+  fault::FaultInjector* fault_injector() const { return fault_; }
+
+  /// Whether BlockFile transfers must take the fault-checked slow path.
+  bool disk_faults_active() const;
+
  private:
+  friend class BlockFile;
+
+  /// Fault-checked transfer paths; only reached when disk_faults_active().
+  u64 faulted_read(FileHandle& handle, u64 name_hash, u64 offset,
+                   std::span<u8> out);
+  void faulted_write(FileHandle& handle, u64 name_hash, u64 offset,
+                     std::span<const u8> data);
+  /// Record/refresh shadow fingerprints of the whole blocks covered by a
+  /// write (partially covered blocks lose theirs — the stored content no
+  /// longer matches any hash we could compute without a read-back).
+  void note_write_fingerprints(u64 name_hash, u64 offset,
+                               std::span<const u8> data);
+  void charge_fault(double seconds) {
+    if (cost_sink_) cost_sink_(seconds);
+  }
+
   std::unique_ptr<FileBackend> backend_;
   DiskParams params_;
   IoStats stats_;
   std::function<void(double)> cost_sink_;
   bool overlap_enabled_ = false;
   std::unique_ptr<IoExecutor> executor_;
+  fault::FaultInjector* fault_ = nullptr;
+  /// Shadow block fingerprints for corruption detection, keyed by file-name
+  /// hash then block index.  Maintained only while corrupt_prob > 0.
+  std::unordered_map<u64, std::unordered_map<u64, u64>> fingerprints_;
 };
 
 }  // namespace paladin::pdm

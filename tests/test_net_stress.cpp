@@ -8,6 +8,7 @@
 #include "base/rng.h"
 #include "net/cluster.h"
 #include "pdm/typed_io.h"
+#include "test_params.h"
 
 namespace paladin::net {
 namespace {
@@ -250,11 +251,11 @@ TEST(NetStress, SlowReceiverInFlightBytesStayWithinCreditWindow) {
   // receiver's inbox can never hold more than W data chunks no matter how
   // far it lags.  (Before flow control, the eager sender would park all
   // kChunks·kBytes here at once.)
-  constexpr u64 kChunks = 64;
-  constexpr u64 kBytes = 4096;
-  constexpr u64 kWindow = 3;
-  constexpr int kData = 11;
-  constexpr int kAck = 12;
+  constexpr u64 kChunks = test_params::kFlowChunks;
+  constexpr u64 kBytes = test_params::kFlowChunkBytes;
+  constexpr u64 kWindow = test_params::kFlowWindow;
+  constexpr int kData = test_params::kFlowDataTag;
+  constexpr int kAck = test_params::kFlowAckTag;
 
   Cluster cluster(ClusterConfig::homogeneous(2));
   auto out = cluster.run([&](NodeContext& ctx) -> u64 {

@@ -1,0 +1,136 @@
+// Golden-file determinism test for the observability exporters: one fixed
+// observed pipelined PSRS run must serialise byte-for-byte to the
+// checked-in fixtures tests/golden/obs_run.trace.json (Chrome trace_event)
+// and tests/golden/obs_run.report.json (paladin.run_report.v1).  Any
+// intentional change to the trace content or the serialisation format
+// shows up as a reviewable fixture diff — regenerate with
+// tools/regen_golden_obs.sh (which runs this binary with
+// PALADIN_REGEN_GOLDEN=1 so the test rewrites the fixtures in place).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/ext_psrs.h"
+#include "core/sort_driver.h"
+#include "hetero/perf_vector.h"
+#include "net/cluster.h"
+#include "obs/export.h"
+#include "test_params.h"
+#include "workload/generators.h"
+
+#ifndef PALADIN_GOLDEN_DIR
+#error "tests/CMakeLists.txt must define PALADIN_GOLDEN_DIR"
+#endif
+
+namespace paladin::obs {
+namespace {
+
+/// The fixed run behind the fixtures.  Everything here is pinned: perf
+/// vector, seeds, block size, message size, metadata order.  Do not tweak
+/// casually — every edit is a fixture regeneration.
+ClusterTrace golden_run() {
+  const std::vector<u32> perf_values = {2, 1};
+  hetero::PerfVector perf(perf_values);
+  const u64 n = perf.admissible_size(20);
+
+  net::ClusterConfig config;
+  config.perf = perf_values;
+  config.disk = test_params::tiny_blocks();
+  config.seed = 1234;
+  config.observe = true;
+  net::Cluster cluster(config);
+
+  workload::WorkloadSpec spec;
+  spec.dist = workload::Dist::kUniform;
+  spec.total_records = n;
+  spec.node_count = perf.node_count();
+  spec.seed = 99;
+
+  auto outcome = cluster.run([&](net::NodeContext& ctx) -> int {
+    workload::write_share(spec, ctx.rank(), perf.share_offset(ctx.rank(), n),
+                          perf.share(ctx.rank(), n), ctx.disk(), "input");
+    core::ExtPsrsConfig psrs;
+    psrs.sequential.memory_records = test_params::kMemoryRecords;
+    psrs.sequential.tape_count = test_params::kTapeCount;
+    psrs.sequential.allow_in_memory = false;
+    psrs.message_records = test_params::kMessageRecords;
+    psrs.pipelined = true;
+    core::ext_psrs_sort<DefaultKey>(ctx, perf, psrs);
+    return 0;
+  });
+
+  ClusterTrace trace = core::collect_cluster_trace(outcome);
+  trace.set_meta("algorithm", "ext-psrs");
+  trace.set_meta("perf", "2,1");
+  trace.set_meta("fixture", "tests/golden/obs_run");
+  return trace;
+}
+
+std::string read_file_or_empty(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+bool regen_requested() {
+  const char* env = std::getenv("PALADIN_REGEN_GOLDEN");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+void check_against_golden(const std::string& produced,
+                          const std::string& fixture_name) {
+  const std::string path =
+      std::string(PALADIN_GOLDEN_DIR) + "/" + fixture_name;
+  if (regen_requested()) {
+    ASSERT_TRUE(write_text_file(path, produced)) << "regen failed: " << path;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  const std::string expected = read_file_or_empty(path);
+  ASSERT_FALSE(expected.empty())
+      << "missing fixture " << path
+      << " — run tools/regen_golden_obs.sh and commit the result";
+  // Byte-exact.  On mismatch, report the first diverging offset rather
+  // than dumping two multi-kilobyte JSON bodies into the log.
+  if (produced != expected) {
+    std::size_t at = 0;
+    while (at < produced.size() && at < expected.size() &&
+           produced[at] == expected[at]) {
+      ++at;
+    }
+    FAIL() << fixture_name << " diverges from the fixture at byte " << at
+           << " (produced " << produced.size() << " bytes, fixture "
+           << expected.size() << ")\n  produced: ..."
+           << produced.substr(at > 40 ? at - 40 : 0, 80) << "...\n  fixture:  ..."
+           << expected.substr(at > 40 ? at - 40 : 0, 80)
+           << "...\n  If the change is intended, regenerate with "
+              "tools/regen_golden_obs.sh";
+  }
+}
+
+TEST(ObsGolden, ChromeTraceMatchesFixtureByteExact) {
+  const ClusterTrace trace = golden_run();
+  check_against_golden(chrome_trace_json(trace), "obs_run.trace.json");
+}
+
+TEST(ObsGolden, RunReportMatchesFixtureByteExact) {
+  const ClusterTrace trace = golden_run();
+  check_against_golden(run_report_json(trace), "obs_run.report.json");
+}
+
+TEST(ObsGolden, TwoCollectionsOfTheSameRunSerialiseIdentically) {
+  // The in-process determinism half of the golden guarantee: re-running
+  // the whole observed cluster yields byte-identical exports even before
+  // comparing against the on-disk fixture.
+  const ClusterTrace a = golden_run();
+  const ClusterTrace b = golden_run();
+  EXPECT_EQ(chrome_trace_json(a), chrome_trace_json(b));
+  EXPECT_EQ(run_report_json(a), run_report_json(b));
+}
+
+}  // namespace
+}  // namespace paladin::obs

@@ -21,6 +21,7 @@
 #include "net/cluster.h"
 #include "obs/trace.h"
 #include "pdm/typed_io.h"
+#include "test_params.h"
 #include "workload/generators.h"
 
 namespace paladin::core {
@@ -30,14 +31,9 @@ using hetero::PerfVector;
 using net::Cluster;
 using net::ClusterConfig;
 using net::NodeContext;
+using test_params::tiny_blocks;
 using workload::Dist;
 using workload::WorkloadSpec;
-
-pdm::DiskParams tiny_blocks() {
-  pdm::DiskParams p;
-  p.block_bytes = 64;
-  return p;
-}
 
 struct SortRun {
   std::vector<std::vector<DefaultKey>> outputs;  ///< per-node final slice
@@ -50,7 +46,8 @@ struct SortRun {
 };
 
 SortRun run_sort(const std::vector<u32>& perf_values, Dist dist, u64 k,
-                 bool pipelined, u64 message_records = 64,
+                 bool pipelined,
+                 u64 message_records = test_params::kMessageRecords,
                  bool observe = false) {
   PerfVector perf(perf_values);
   const u64 n = perf.admissible_size(k);
@@ -82,8 +79,8 @@ SortRun run_sort(const std::vector<u32>& perf_values, Dist dist, u64 k,
         file_checksum<DefaultKey>(ctx.disk(), "input");
 
     ExtPsrsConfig psrs;
-    psrs.sequential.memory_records = 512;
-    psrs.sequential.tape_count = 5;
+    psrs.sequential.memory_records = test_params::kMemoryRecords;
+    psrs.sequential.tape_count = test_params::kTapeCount;
     psrs.sequential.allow_in_memory = false;
     psrs.message_records = message_records;
     psrs.pipelined = pipelined;

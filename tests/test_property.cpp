@@ -7,6 +7,7 @@
 #include <algorithm>
 
 #include "base/meter.h"
+#include "base/rng.h"
 #include "core/ext_psrs.h"
 #include "core/psrs_incore.h"
 #include "core/verify.h"
@@ -316,6 +317,82 @@ INSTANTIATE_TEST_SUITE_P(AllDistributions, ExternalInCoreAgreement,
                          ::testing::ValuesIn(std::vector<Dist>(
                              std::begin(workload::kAllBenchmarks),
                              std::end(workload::kAllBenchmarks))));
+
+// ---------------------------------------------------------------------
+// Pipelined path: randomized (seed, p, perf, B, m) sweep.  Each drawn
+// configuration runs ext_psrs twice — phased and pipelined — and must
+// (a) match the std::sort oracle on the concatenated output, (b) conserve
+// the input multiset exactly, and (c) produce byte-identical per-node
+// slices in both modes (the pipeline reorders work, never records).
+// ---------------------------------------------------------------------
+
+TEST(PipelinedProperty, RandomConfigsMatchOracleAndPhasedDigests) {
+  SplitMix64 gen(0xfeed'beef'0001ULL);
+  for (int trial = 0; trial < 10; ++trial) {
+    const u32 p = 2 + static_cast<u32>(gen.next() % 3);
+    std::vector<u32> perf_values;
+    for (u32 i = 0; i < p; ++i) {
+      perf_values.push_back(1 + static_cast<u32>(gen.next() % 8));
+    }
+    const u64 block_bytes = (gen.next() % 2) ? 128 : 256;
+    const u64 message_records = 16ull << (gen.next() % 5);  // 16..256
+    const Dist dist = workload::kAllBenchmarks[gen.next() % 8];
+    const u64 seed = gen.next();
+    SCOPED_TRACE(::testing::Message()
+                 << "trial=" << trial << " p=" << p
+                 << " B=" << block_bytes << " m=" << message_records
+                 << " dist=" << workload::to_string(dist)
+                 << " seed=" << seed);
+
+    PerfVector perf(perf_values);
+    const u64 n = perf.admissible_size(18 + gen.next() % 10);
+    WorkloadSpec spec{dist, n, p, seed};
+
+    ClusterConfig config;
+    config.perf = perf_values;
+    config.disk.block_bytes = block_bytes;
+
+    struct Slice {
+      std::vector<u32> input;
+      std::vector<u32> output;
+    };
+    auto run_mode = [&](bool pipelined) {
+      Cluster cluster(config);
+      return cluster.run([&](NodeContext& ctx) -> Slice {
+        workload::write_share(spec, ctx.rank(),
+                              perf.share_offset(ctx.rank(), n),
+                              perf.share(ctx.rank(), n), ctx.disk(), "input");
+        Slice s;
+        s.input = pdm::read_file<u32>(ctx.disk(), "input");
+        core::ExtPsrsConfig psrs;
+        psrs.sequential.memory_records = 512;
+        psrs.sequential.allow_in_memory = false;
+        psrs.message_records = message_records;
+        psrs.pipelined = pipelined;
+        core::ext_psrs_sort<u32>(ctx, perf, psrs);
+        s.output = pdm::read_file<u32>(ctx.disk(), "sorted");
+        return s;
+      });
+    };
+    auto phased = run_mode(false);
+    auto pipelined = run_mode(true);
+
+    std::vector<u32> all_in, all_out;
+    for (u32 i = 0; i < p; ++i) {
+      // (c) phased vs pipelined digest equality, node by node.
+      EXPECT_EQ(pipelined.results[i].output, phased.results[i].output)
+          << "node " << i;
+      all_in.insert(all_in.end(), pipelined.results[i].input.begin(),
+                    pipelined.results[i].input.end());
+      all_out.insert(all_out.end(), pipelined.results[i].output.begin(),
+                     pipelined.results[i].output.end());
+    }
+    // (a) + (b): the concatenated output is exactly the sorted input —
+    // ordered, and neither losing nor duplicating a single record.
+    std::sort(all_in.begin(), all_in.end());
+    EXPECT_EQ(all_out, all_in);
+  }
+}
 
 TEST(WideCluster, SixteenHeterogeneousNodesEndToEnd) {
   std::vector<u32> perf_values = {4, 4, 4, 4, 2, 2, 2, 2,
