@@ -1,13 +1,17 @@
 // paladin_sort — command-line front end: sort a real binary file of
-// little-endian u32 keys with the heterogeneous external PSRS algorithm on
-// a simulated cluster, and write the sorted file back.
+// little-endian u32 keys on a simulated heterogeneous cluster with any of
+// the parallel external-sort backends, and write the sorted file back.
 //
 //   build/examples/paladin_sort --input keys.bin --output sorted.bin \
-//       --perf 4,4,1,1 [--memory 1048576] [--message 8192] [--net myrinet]
+//       --perf 4,4,1,1 [--algorithm ext-psrs|ext-distribution|...]
+//       [--memory 1048576] [--message 8192] [--net myrinet]
 //
-// With --demo N the tool generates N random keys itself, so it runs
-// without any input file.  The simulated execution-time breakdown and the
-// balance metric are printed either way.
+// With --demo N the tool generates N keys itself (--dist selects the
+// input distribution, including the adversarial ones: zero, sorted,
+// reverse-sorted, zipf, ...), so it runs without any input file.  The
+// simulated execution-time breakdown and the balance metric are printed
+// either way; --obs-out writes the phase-span trace for every backend.
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -16,7 +20,7 @@
 #include <vector>
 
 #include "base/temp_dir.h"
-#include "core/ext_psrs.h"
+#include "core/backend.h"
 #include "core/scatter_gather.h"
 #include "core/sort_driver.h"
 #include "core/verify.h"
@@ -25,6 +29,7 @@
 #include "metrics/table.h"
 #include "net/cluster.h"
 #include "pdm/typed_io.h"
+#include "workload/generators.h"
 
 using namespace paladin;
 
@@ -34,19 +39,27 @@ struct Options {
   std::string input;
   std::string output = "sorted.bin";
   std::vector<u32> perf = {1, 1, 1, 1};
+  core::ParallelSortAlgorithm algorithm =
+      core::ParallelSortAlgorithm::kExtPsrs;
   u64 memory_records = u64{1} << 20;
   u64 message_records = 8192;
   std::string net = "fast-ethernet";
   u64 demo_records = 0;
+  workload::Dist demo_dist = workload::Dist::kUniform;
   std::string obs_out;
 
   static void usage() {
     std::cout
         << "paladin_sort --input FILE [--output FILE] [--perf a,b,c,...]\n"
+           "             [--algorithm NAME]  (one of: "
+        << core::algorithm_names()
+        << ")\n"
            "             [--memory RECORDS] [--message RECORDS]\n"
            "             [--net fast-ethernet|myrinet|infinite]\n"
-           "             [--demo N]   (generate N random keys instead of "
-           "--input)\n"
+           "             [--demo N]   (generate N keys instead of --input)\n"
+           "             [--dist NAME]  (--demo distribution; one of: "
+        << workload::dist_names()
+        << ")\n"
            "             [--obs-out PREFIX]  (write PREFIX.trace.json + "
            "PREFIX.report.json)\n";
   }
@@ -73,6 +86,15 @@ struct Options {
         while (std::getline(ss, item, ',')) {
           opt.perf.push_back(static_cast<u32>(std::stoul(item)));
         }
+      } else if (arg == "--algorithm") {
+        const std::string name = need_value(i);
+        const auto algo = core::try_parse_algorithm(name);
+        if (!algo) {
+          std::cerr << "unknown algorithm '" << name
+                    << "'; valid: " << core::algorithm_names() << "\n";
+          std::exit(2);
+        }
+        opt.algorithm = *algo;
       } else if (arg == "--memory") {
         opt.memory_records = std::stoull(need_value(i));
       } else if (arg == "--message") {
@@ -81,6 +103,15 @@ struct Options {
         opt.net = need_value(i);
       } else if (arg == "--demo") {
         opt.demo_records = std::stoull(need_value(i));
+      } else if (arg == "--dist") {
+        const std::string name = need_value(i);
+        const auto dist = workload::try_parse_dist(name);
+        if (!dist) {
+          std::cerr << "unknown distribution '" << name
+                    << "'; valid: " << workload::dist_names() << "\n";
+          std::exit(2);
+        }
+        opt.demo_dist = *dist;
       } else if (arg == "--obs-out") {
         opt.obs_out = need_value(i);
       } else {
@@ -96,13 +127,28 @@ struct Options {
   }
 };
 
-std::vector<u32> load_keys(const Options& opt) {
-  if (opt.demo_records > 0) {
-    Xoshiro256 rng(2026);
-    std::vector<u32> keys(opt.demo_records);
-    for (auto& k : keys) k = static_cast<u32>(rng.next());
-    return keys;
+/// Demo keys: the perf-proportional concatenation of per-node generator
+/// shares, so each node's scattered slice is exactly what the distribution
+/// says that node should hold (kStaggered, kGGroup etc. are per-node
+/// patterns, not just global shapes).
+std::vector<u32> demo_keys(const Options& opt, const hetero::PerfVector& perf,
+                           u64 n) {
+  workload::WorkloadSpec spec;
+  spec.dist = opt.demo_dist;
+  spec.total_records = n;
+  spec.node_count = perf.node_count();
+  spec.seed = 2026;
+  std::vector<u32> keys;
+  keys.reserve(n);
+  for (u32 i = 0; i < perf.node_count(); ++i) {
+    const std::vector<DefaultKey> share = workload::generate_share(
+        spec, i, perf.share_offset(i, n), perf.share(i, n));
+    keys.insert(keys.end(), share.begin(), share.end());
   }
+  return keys;
+}
+
+std::vector<u32> load_keys(const Options& opt) {
   std::ifstream in(opt.input, std::ios::binary | std::ios::ate);
   if (!in) {
     std::cerr << "cannot open " << opt.input << "\n";
@@ -126,12 +172,6 @@ int main(int argc, char** argv) {
   const Options opt = Options::parse(argc, argv);
 
   hetero::PerfVector perf(opt.perf);
-  std::vector<u32> keys = load_keys(opt);
-  const u64 original = keys.size();
-  const u64 n = perf.round_up_admissible(original);
-  // Pad to an admissible size with max-keys; they sort to the end and are
-  // trimmed before writing the output.
-  keys.resize(n, std::numeric_limits<u32>::max());
 
   net::ClusterConfig config;
   config.perf = opt.perf;
@@ -143,16 +183,38 @@ int main(int argc, char** argv) {
     std::cerr << "unknown network: " << opt.net << "\n";
     return 2;
   }
-
   config.observe = !opt.obs_out.empty();
 
-  std::cout << "sorting " << original << " keys (padded to " << n
-            << ") on " << perf.node_count() << " nodes, perf "
-            << perf.to_string() << ", " << config.network.name << "\n";
+  std::vector<u32> keys;
+  u64 original = 0;
+  u64 n = 0;
+  if (opt.demo_records > 0) {
+    n = perf.round_up_admissible(opt.demo_records);
+    original = n;  // every generated key is real data
+    keys = demo_keys(opt, perf, n);
+  } else {
+    keys = load_keys(opt);
+    original = keys.size();
+    n = perf.round_up_admissible(original);
+    // Pad to an admissible size with max-keys; they sort to the end and
+    // are trimmed before writing the output.
+    keys.resize(n, std::numeric_limits<u32>::max());
+  }
+
+  std::cout << "sorting " << original << " keys (padded to " << n << ") on "
+            << perf.node_count() << " nodes, perf " << perf.to_string()
+            << ", " << config.network.name << ", algorithm "
+            << core::to_string(opt.algorithm) << "\n";
+
+  core::ParallelSortConfig psc;
+  psc.algorithm = opt.algorithm;
+  psc.sequential.memory_records = opt.memory_records;
+  psc.sequential.allow_in_memory = false;
+  psc.message_records = opt.message_records;
 
   net::Cluster cluster(config);
   struct NodeOut {
-    core::ExtPsrsReport report;
+    core::ParallelSortReport report;
     std::vector<u32> gathered;  // only at root
     bool ok = false;
   };
@@ -164,36 +226,36 @@ int main(int argc, char** argv) {
     core::scatter_shares<u32>(ctx, perf, "all.in", "input", 0,
                               opt.message_records);
 
-    core::ExtPsrsConfig psrs;
-    psrs.sequential.memory_records = opt.memory_records;
-    psrs.sequential.allow_in_memory = false;
-    psrs.message_records = opt.message_records;
-    out.report = core::ext_psrs_sort<u32>(ctx, perf, psrs);
-    out.ok = core::verify_global_order<u32>(ctx, "sorted");
+    out.report = core::parallel_external_sort<u32>(ctx, perf, psc);
 
-    core::gather_shares<u32>(ctx, "sorted", "all.out", 0,
-                             opt.message_records);
+    // Verification is layout-aware: a contiguous slice must be globally
+    // ordered against the neighbours; bucket files need only be sorted
+    // individually (bucket order is the global order).
+    if (out.report.layout == core::OutputLayout::kContiguousSlice) {
+      out.ok = core::verify_global_order<u32>(ctx, psc.output);
+    } else {
+      out.ok = true;
+      for (const u64 b : out.report.owned_buckets) {
+        out.ok = out.ok &&
+                 core::is_sorted_file<u32>(
+                     ctx.disk(), core::bucket_file_name(psc.output, b));
+      }
+    }
+
+    core::collect_sorted_output<u32>(ctx, psc, out.report, "all.out", 0);
     if (ctx.rank() == 0) {
       out.gathered = pdm::read_file<u32>(ctx.disk(), "all.out");
     }
     return out;
   });
 
-  metrics::TextTable t({"node", "share", "final", "seq sort (s)",
-                        "steps 3-5 (s)", "total (s)"});
+  metrics::TextTable t({"node", "share", "final", "total (s)"});
   std::vector<u64> finals;
   for (u32 i = 0; i < perf.node_count(); ++i) {
     const auto& r = outcome.results[i].report;
     finals.push_back(r.final_records);
-    // Steps 3-5 are one fused pipeline by default (t_pipeline) or three
-    // phased steps (partition + redistribute + merge); sum both so the
-    // column is mode-agnostic.
-    const double steps35 =
-        r.t_partition + r.t_redistribute + r.t_final_merge + r.t_pipeline;
     t.add_row({std::to_string(i), std::to_string(r.local_records),
                std::to_string(r.final_records),
-               metrics::TextTable::fmt(r.t_seq_sort, 2),
-               metrics::TextTable::fmt(steps35, 2),
                metrics::TextTable::fmt(r.t_total, 2)});
     if (!outcome.results[i].ok) {
       std::cerr << "verification failed on node " << i << "\n";
@@ -203,7 +265,7 @@ int main(int argc, char** argv) {
   if (!opt.obs_out.empty()) {
     obs::ClusterTrace trace = core::collect_cluster_trace(outcome);
     trace.set_meta("tool", "paladin_sort");
-    trace.set_meta("algorithm", "ext-psrs");
+    trace.set_meta("algorithm", core::to_string(opt.algorithm));
     trace.set_meta("perf", perf.to_string());
     trace.set_meta("network", config.network.name);
     trace.set_meta("records", std::to_string(n));
@@ -223,6 +285,10 @@ int main(int argc, char** argv) {
             << "\n";
 
   std::vector<u32>& sorted = outcome.results[0].gathered;
+  if (!std::is_sorted(sorted.begin(), sorted.end())) {
+    std::cerr << "gathered output is not globally sorted\n";
+    return 1;
+  }
   sorted.resize(original);  // trim the padding
   std::ofstream out_file(opt.output, std::ios::binary | std::ios::trunc);
   out_file.write(reinterpret_cast<const char*>(sorted.data()),

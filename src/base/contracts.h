@@ -58,3 +58,14 @@ namespace detail {
       ::paladin::detail::contract_fail("invariant", #cond, __FILE__,          \
                                        __LINE__, "");                         \
   } while (0)
+
+/// Marks control flow the surrounding logic proves impossible (a switch
+/// over an enum that handled every case, a loop that must terminate by
+/// returning).  Unlike `PALADIN_ASSERT(false)` it is [[noreturn]] from the
+/// compiler's point of view — contract_fail never returns — so no dummy
+/// `return` is needed after it and the dead path cannot silently produce a
+/// default-constructed value if a new enum case is added.
+#define PALADIN_UNREACHABLE()                                                 \
+  ::paladin::detail::contract_fail("unreachable",                             \
+                                   "control reached unreachable code",        \
+                                   __FILE__, __LINE__, "")

@@ -2,7 +2,7 @@
 // description of DeWitt–Naughton–Schneider (1991), "the closest algorithm
 // in spirit to parallel sampling techniques" and our distribute-first
 // baseline.  Where external PSRS sorts first and samples the *sorted*
-// data, this algorithm:
+// data, this backend:
 //
 //   1. samples the *unsorted* local file at random positions (perf-
 //      proportionally many samples per node); a designated node picks p−1
@@ -15,7 +15,10 @@
 //
 // Because the pivots come from a random sample rather than regular
 // positions in sorted data, its balance guarantee is probabilistic only —
-// the ablation bench measures the difference.
+// the ablation bench measures the difference.  The sample/splitter/route
+// scaffolding lives in core/backend.h, shared with overpartitioning and
+// the multiway backend; only step order and the sort-last structure are
+// this file's own.
 #pragma once
 
 #include <string>
@@ -23,31 +26,26 @@
 
 #include "base/contracts.h"
 #include "base/types.h"
+#include "core/backend.h"
 #include "core/partition_file.h"
 #include "core/redistribute.h"
 #include "hetero/perf_vector.h"
 #include "net/cluster.h"
 #include "pdm/typed_io.h"
-#include "seq/counting.h"
 #include "seq/external_sort.h"
 
 namespace paladin::core {
 
-struct ExtDistributionConfig {
-  seq::ExternalSortConfig sequential;
+/// Knobs specific to this backend (the common core is BackendConfig).
+struct ExtDistributionOptions {
   /// Random samples drawn per unit of perf (node i draws
   /// oversample·p·perf[i]).
   u32 oversample = 16;
-  u64 message_records = 8192;
-  std::string input = "input";
-  std::string output = "sorted";
 };
 
-struct ExtDistributionReport {
-  u64 local_records = 0;
-  u64 final_records = 0;
-  double t_total = 0.0;
-};
+struct ExtDistributionConfig : BackendConfig, ExtDistributionOptions {};
+
+struct ExtDistributionReport : BackendReport {};
 
 /// SPMD body; on return `config.output` holds this node's globally
 /// contiguous sorted slice.
@@ -59,70 +57,26 @@ ExtDistributionReport ext_distribution_sort(
   net::Communicator& comm = ctx.comm();
   const u32 p = comm.size();
   const u32 rank = comm.rank();
-  const double t0 = ctx.clock().now();
+  BackendContext bc(ctx, perf, config);
+  const PhaseTimer total(bc);
 
   ExtDistributionReport report;
   report.local_records = ctx.disk().file_records<T>(config.input);
 
   // ---- 1. Probabilistic splitting -------------------------------------
-  std::vector<T> pivots;
-  {
-    std::vector<T> sample;
-    const u64 want = std::min<u64>(
-        report.local_records,
-        static_cast<u64>(config.oversample) * p * perf[rank]);
-    pdm::BlockFile f = ctx.disk().open(config.input);
-    pdm::BlockReader<T> reader(f);
-    for (u64 i = 0; i < want; ++i) {
-      reader.seek_record(ctx.rng().next_below(report.local_records));
-      T v;
-      const bool ok = reader.next(v);
-      PALADIN_ASSERT(ok);
-      sample.push_back(v);
-    }
-    std::vector<T> gathered =
-        comm.template gather_records<T>(std::span<const T>(sample), 0);
-    if (rank == 0) {
-      PALADIN_EXPECTS(gathered.size() >= p);
-      seq::metered_sort(std::span<T>(gathered), ctx, less);
-      // Perf-weighted quantile cuts, as in PSRS pivot selection.
-      u64 cum = 0;
-      for (u32 j = 0; j + 1 < p; ++j) {
-        cum += perf[j];
-        const u64 idx = std::min<u64>(
-            gathered.size() * cum / perf.sum(), gathered.size() - 1);
-        pivots.push_back(gathered[idx]);
-      }
-    }
-    pivots = comm.template bcast_records<T>(std::move(pivots), 0);
-  }
+  const u64 want = std::min<u64>(
+      report.local_records,
+      static_cast<u64>(config.oversample) * p * perf[rank]);
+  std::vector<T> pivots = select_sample_splitters<T, Less>(
+      bc, draw_random_sample<T>(ctx, config.input, want), p - 1, &perf,
+      /*unique_splitters=*/false, /*root=*/0, less);
 
   // ---- 2. Stream + route into p bucket files --------------------------
   const std::string part_prefix = config.output + ".dist";
-  {
-    std::vector<pdm::BlockFile> files;
-    std::vector<pdm::BlockWriter<T>> writers;
-    files.reserve(p);
-    writers.reserve(p);
-    for (u32 j = 0; j < p; ++j) {
-      files.push_back(ctx.disk().create(partition_name(part_prefix, j)));
-      writers.emplace_back(files.back());
-    }
-    pdm::BlockFile f = ctx.disk().open(config.input);
-    pdm::BlockReader<T> reader(f);
-    u64 compares = 0;
-    seq::CountingLess<Less> counting{less, &compares};
-    T v;
-    while (reader.next(v)) {
-      const u64 j = static_cast<u64>(
-          std::upper_bound(pivots.begin(), pivots.end(), v, counting) -
-          pivots.begin());
-      writers[j].push(v);
-    }
-    for (auto& w : writers) w.flush();
-    ctx.on_compares(compares);
-    ctx.on_moves(report.local_records);
-  }
+  route_file_by_splitters<T>(
+      ctx, config.input, std::span<const T>(pivots),
+      [&](u64 j) { return partition_name(part_prefix, static_cast<u32>(j)); },
+      less);
 
   // ---- 3. Redistribute -------------------------------------------------
   const std::string recv_prefix = config.output + ".recv";
@@ -132,31 +86,28 @@ ExtDistributionReport ext_distribution_sort(
   // ---- 4. Concatenate what I own and sort it externally ----------------
   const std::string unsorted_mine = config.output + ".mine";
   {
-    pdm::BlockFile out = ctx.disk().create(unsorted_mine);
-    pdm::BlockWriter<T> writer(out);
+    std::vector<std::string> sources;
+    sources.reserve(p);
     for (u32 src = 0; src < p; ++src) {
-      const std::string name = src == rank
-                                   ? partition_name(part_prefix, rank)
-                                   : received_name(recv_prefix, src);
-      pdm::BlockFile f = ctx.disk().open(name);
-      pdm::BlockReader<T> reader(f);
-      T v;
-      while (reader.next(v)) writer.push(v);
-      ctx.disk().remove(name);
+      sources.push_back(src == rank ? partition_name(part_prefix, rank)
+                                    : received_name(recv_prefix, src));
     }
-    writer.flush();
-    report.final_records = writer.records_written();
+    report.final_records =
+        concat_files<T>(ctx.disk(), std::span<const std::string>(sources),
+                        unsorted_mine, ctx, config.keep_intermediates);
   }
-  for (u32 j = 0; j < p; ++j) {
-    if (j != rank && ctx.disk().exists(partition_name(part_prefix, j))) {
-      ctx.disk().remove(partition_name(part_prefix, j));
+  if (!config.keep_intermediates) {
+    for (u32 j = 0; j < p; ++j) {
+      if (j != rank && ctx.disk().exists(partition_name(part_prefix, j))) {
+        ctx.disk().remove(partition_name(part_prefix, j));
+      }
     }
   }
   seq::external_sort<T, Less>(ctx.disk(), unsorted_mine, config.output,
                               config.sequential, ctx, less);
-  ctx.disk().remove(unsorted_mine);
+  if (!config.keep_intermediates) ctx.disk().remove(unsorted_mine);
 
-  report.t_total = ctx.clock().now() - t0;
+  report.t_total = total.seconds();
   return report;
 }
 

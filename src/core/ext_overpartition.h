@@ -15,7 +15,9 @@
 // The output is one sorted file per owned bucket, named
 // `<output>.bucket<b>`; globally the sort order is the bucket order, with
 // ownership scattered by the schedule — overpartitioning trades the
-// contiguous-slice property of PSRS for size-adaptive assignment.
+// contiguous-slice property of PSRS for size-adaptive assignment.  The
+// sample/splitter/route scaffolding comes from core/backend.h; the LPT
+// schedule and the bucket shipping are this backend's own.
 #pragma once
 
 #include <algorithm>
@@ -24,32 +26,26 @@
 
 #include "base/contracts.h"
 #include "base/types.h"
+#include "core/backend.h"
 #include "core/overpartition.h"
 #include "hetero/perf_vector.h"
 #include "net/cluster.h"
 #include "pdm/typed_io.h"
-#include "seq/counting.h"
 #include "seq/external_sort.h"
 
 namespace paladin::core {
 
-struct ExtOverpartitionConfig {
-  seq::ExternalSortConfig sequential;
+/// Knobs specific to this backend (the common core is BackendConfig).
+struct ExtOverpartitionOptions {
   /// Overpartitioning factor: p·s buckets.
   u32 s = 4;
   /// Candidate pivots sampled per bucket.
   u32 oversample = 8;
-  u64 message_records = 8192;
-  std::string input = "input";
-  std::string output = "sorted";
 };
 
-struct ExtOverpartitionReport {
-  u64 local_records = 0;
-  u64 final_records = 0;
-  std::vector<u64> owned_buckets;
-  double t_total = 0.0;
-};
+struct ExtOverpartitionConfig : BackendConfig, ExtOverpartitionOptions {};
+
+struct ExtOverpartitionReport : BackendReport {};
 
 /// SPMD body.  On return this node's disk holds `<output>.bucket<b>`
 /// (sorted) for every bucket b it owns; `report.owned_buckets` lists them.
@@ -63,72 +59,31 @@ ExtOverpartitionReport ext_overpartition_sort(
   const u32 p = comm.size();
   const u32 rank = comm.rank();
   const u64 buckets = static_cast<u64>(p) * config.s;
-  const double t0 = ctx.clock().now();
+  BackendContext bc(ctx, perf, config);
+  const PhaseTimer total(bc);
   constexpr int kTagHeader = 60;
   constexpr int kTagData = 61;
 
   ExtOverpartitionReport report;
+  report.layout = OutputLayout::kBucketFiles;
   report.local_records = ctx.disk().file_records<T>(config.input);
 
   // ---- 1. Random sampling of the unsorted file; p·s−1 pivots ----------
-  std::vector<T> pivots;
-  {
-    std::vector<T> sample;
-    const u64 want = std::min<u64>(
-        report.local_records,
-        static_cast<u64>(config.s) * config.oversample);
-    pdm::BlockFile f = ctx.disk().open(config.input);
-    pdm::BlockReader<T> reader(f);
-    for (u64 i = 0; i < want; ++i) {
-      reader.seek_record(ctx.rng().next_below(
-          std::max<u64>(report.local_records, 1)));
-      T v;
-      if (reader.next(v)) sample.push_back(v);
-    }
-    std::vector<T> gathered =
-        comm.template gather_records<T>(std::span<const T>(sample), 0);
-    if (rank == 0) {
-      PALADIN_EXPECTS_MSG(gathered.size() >= buckets,
-                          "not enough samples for p*s buckets");
-      seq::metered_sort(std::span<T>(gathered), ctx, less);
-      pivots.reserve(buckets - 1);
-      for (u64 j = 1; j < buckets; ++j) {
-        pivots.push_back(gathered[j * gathered.size() / buckets]);
-      }
-    }
-    pivots = comm.template bcast_records<T>(std::move(pivots), 0);
-  }
+  // Uniform (not perf-weighted) quantile cuts: balance across *buckets* is
+  // what the LPT schedule below consumes; perf enters at assignment time.
+  const u64 want = std::min<u64>(
+      report.local_records,
+      static_cast<u64>(config.s) * config.oversample);
+  std::vector<T> pivots = select_sample_splitters<T, Less>(
+      bc, draw_random_sample<T>(ctx, config.input, want), buckets - 1,
+      /*perf=*/nullptr, /*unique_splitters=*/false, /*root=*/0, less);
 
   // ---- 2. One streaming pass into p·s bucket files ---------------------
   const auto local_bucket = [&](u64 b) {
     return config.output + ".lb" + std::to_string(b);
   };
-  std::vector<u64> local_sizes(buckets, 0);
-  {
-    std::vector<pdm::BlockFile> files;
-    std::vector<pdm::BlockWriter<T>> writers;
-    files.reserve(buckets);
-    writers.reserve(buckets);
-    for (u64 b = 0; b < buckets; ++b) {
-      files.push_back(ctx.disk().create(local_bucket(b)));
-      writers.emplace_back(files.back());
-    }
-    pdm::BlockFile f = ctx.disk().open(config.input);
-    pdm::BlockReader<T> reader(f);
-    u64 compares = 0;
-    seq::CountingLess<Less> counting{less, &compares};
-    T v;
-    while (reader.next(v)) {
-      const u64 b = static_cast<u64>(
-          std::upper_bound(pivots.begin(), pivots.end(), v, counting) -
-          pivots.begin());
-      writers[b].push(v);
-      ++local_sizes[b];
-    }
-    for (auto& w : writers) w.flush();
-    ctx.on_compares(compares);
-    ctx.on_moves(report.local_records);
-  }
+  const std::vector<u64> local_sizes = route_file_by_splitters<T>(
+      ctx, config.input, std::span<const T>(pivots), local_bucket, less);
 
   // ---- 3. Global sizes → LPT assignment (deterministic, same on all) ---
   std::vector<u64> global_sizes(buckets);
@@ -177,7 +132,7 @@ ExtOverpartitionReport ext_overpartition_sort(
   }
 
   const auto owned_bucket = [&](u64 b) {
-    return config.output + ".bucket" + std::to_string(b);
+    return bucket_file_name(config.output, b);
   };
   // Start each owned bucket with my local piece, then append peers'.
   for (u64 b = 0; b < buckets; ++b) {
@@ -209,7 +164,9 @@ ExtOverpartitionReport ext_overpartition_sort(
       writer.flush();
     }
   }
-  for (u64 b = 0; b < buckets; ++b) ctx.disk().remove(local_bucket(b));
+  if (!config.keep_intermediates) {
+    for (u64 b = 0; b < buckets; ++b) ctx.disk().remove(local_bucket(b));
+  }
 
   // ---- 5. Externally sort every owned bucket ---------------------------
   for (u64 b = 0; b < buckets; ++b) {
@@ -217,12 +174,12 @@ ExtOverpartitionReport ext_overpartition_sort(
     seq::external_sort<T, Less>(ctx.disk(), owned_bucket(b) + ".raw",
                                 owned_bucket(b), config.sequential, ctx,
                                 less);
-    ctx.disk().remove(owned_bucket(b) + ".raw");
+    if (!config.keep_intermediates) ctx.disk().remove(owned_bucket(b) + ".raw");
     report.owned_buckets.push_back(b);
     report.final_records += ctx.disk().file_records<T>(owned_bucket(b));
   }
 
-  report.t_total = ctx.clock().now() - t0;
+  report.t_total = total.seconds();
   return report;
 }
 

@@ -24,6 +24,7 @@
 #include "base/contracts.h"
 #include "base/math_util.h"
 #include "base/types.h"
+#include "core/backend.h"
 #include "core/partition_file.h"
 #include "core/merge_files.h"
 #include "core/pipeline.h"
@@ -36,11 +37,9 @@
 
 namespace paladin::core {
 
-struct ExtPsrsConfig {
-  /// Step 1 / Step 5 sequential machinery (memory budget, tape count...).
-  seq::ExternalSortConfig sequential;
-  /// Records per network message in Step 4 (paper: 8K integers = 32 KB).
-  u64 message_records = 8192;
+/// Knobs specific to this backend; the sequential machinery, message size
+/// and file names come from the shared BackendConfig core.
+struct ExtPsrsOptions {
   /// Sampling densification (extension; 1 = the paper's sampling rate).
   /// Larger values shrink the pivot quantisation error — the slow nodes'
   /// balance improves at the cost of a larger gathered sample.
@@ -55,19 +54,14 @@ struct ExtPsrsConfig {
   /// Per-destination credit window in pipelined mode and in the phased
   /// exchange: at most this many un-acknowledged chunks in flight.
   u64 flow_window_chunks = kDefaultFlowWindow;
-  /// Node-local file names.
-  std::string input = "input";
-  std::string output = "sorted";
-  /// Keep Step 1–4 intermediate files (for inspection) instead of
-  /// deleting them as soon as they are consumed.
-  bool keep_intermediates = false;
 };
 
+struct ExtPsrsConfig : BackendConfig, ExtPsrsOptions {};
+
 /// What one node reports after the sort; the experiment harness aggregates
-/// these into the paper's Table 3 columns.
-struct ExtPsrsReport {
-  u64 local_records = 0;    ///< l_i, the node's initial share
-  u64 final_records = 0;    ///< records owned after Step 5
+/// these into the paper's Table 3 columns.  The common core (l_i, final
+/// records, total time) sits in BackendReport.
+struct ExtPsrsReport : BackendReport {
   u64 samples_contributed = 0;
   u64 messages_sent = 0;
   u64 effective_message_records = 0;  ///< message_records after block clamping
@@ -79,7 +73,6 @@ struct ExtPsrsReport {
   double t_redistribute = 0.0;
   double t_final_merge = 0.0;
   double t_pipeline = 0.0;  ///< fused steps 3–5 (pipelined mode only)
-  double t_total = 0.0;
 
   // Block I/O per step (this node's disk).
   u64 io_seq_sort = 0;

@@ -1,17 +1,28 @@
 // One entry point over the parallel external sorts, for callers that want
-// to select the algorithm by configuration (the benches, the CLI, A/B
-// experiments) rather than by #include.  All three algorithms share the
-// input convention (node-local file, perf-proportional shares) and the
-// success criterion (a sorted permutation), but differ in output layout:
-// PSRS and distribution sort leave one contiguous slice per node;
-// overpartitioning leaves per-bucket files (see its header).
+// to select the backend by configuration (the benches, the CLI, A/B
+// experiments) rather than by #include.  All four backends share the input
+// convention (node-local file, perf-proportional shares for PSRS; any
+// share layout for the others) and the success criterion (a sorted
+// permutation), but differ in output layout: PSRS, distribution sort and
+// the multiway merge sort leave one contiguous slice per node;
+// overpartitioning leaves per-bucket files.  The report's `layout` field
+// records which, and core/backend.h's collect_sorted_output consumes it.
+//
+// Config plumbing is structural, not per-field: every backend config
+// derives from BackendConfig plus its own option struct, so the dispatch
+// assembles it with two slice-assignments and slices the common
+// BackendReport back out of whatever the backend returned.
 #pragma once
 
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "base/contracts.h"
 #include "base/types.h"
+#include "core/backend.h"
 #include "core/ext_distribution.h"
+#include "core/ext_multiway.h"
 #include "core/ext_overpartition.h"
 #include "core/ext_psrs.h"
 #include "hetero/perf_vector.h"
@@ -51,6 +62,14 @@ enum class ParallelSortAlgorithm : u8 {
   kExtPsrs,          ///< the paper's Algorithm 1 (default)
   kExtDistribution,  ///< DeWitt probabilistic splitting
   kExtOverpartition, ///< Li–Sevcik overpartitioning
+  kExtMultiway,      ///< Rahn–Sanders–Singler multiway merge sort
+};
+
+inline constexpr ParallelSortAlgorithm kAllAlgorithms[] = {
+    ParallelSortAlgorithm::kExtPsrs,
+    ParallelSortAlgorithm::kExtDistribution,
+    ParallelSortAlgorithm::kExtOverpartition,
+    ParallelSortAlgorithm::kExtMultiway,
 };
 
 inline const char* to_string(ParallelSortAlgorithm a) {
@@ -58,78 +77,103 @@ inline const char* to_string(ParallelSortAlgorithm a) {
     case ParallelSortAlgorithm::kExtPsrs: return "ext-psrs";
     case ParallelSortAlgorithm::kExtDistribution: return "ext-distribution";
     case ParallelSortAlgorithm::kExtOverpartition: return "ext-overpartition";
+    case ParallelSortAlgorithm::kExtMultiway: return "ext-multiway";
   }
-  return "?";
+  PALADIN_UNREACHABLE();
 }
 
-struct ParallelSortConfig {
+/// Comma-separated list of the valid algorithm names, for error messages
+/// and --help text.
+inline std::string algorithm_names() {
+  std::string names;
+  for (const ParallelSortAlgorithm a : kAllAlgorithms) {
+    if (!names.empty()) names += ", ";
+    names += to_string(a);
+  }
+  return names;
+}
+
+/// Name → algorithm, or nullopt for an unknown name.
+inline std::optional<ParallelSortAlgorithm> try_parse_algorithm(
+    std::string_view name) {
+  for (const ParallelSortAlgorithm a : kAllAlgorithms) {
+    if (name == to_string(a)) return a;
+  }
+  return std::nullopt;
+}
+
+/// Name → algorithm; an unknown name is a contract violation whose message
+/// lists the valid names.  The CLI and the benches parse --algorithm
+/// through here instead of ad-hoc string matching.
+inline ParallelSortAlgorithm parse_algorithm(std::string_view name) {
+  const std::optional<ParallelSortAlgorithm> a = try_parse_algorithm(name);
+  PALADIN_EXPECTS_MSG(a.has_value(), "unknown algorithm '" +
+                                         std::string(name) +
+                                         "'; valid: " + algorithm_names());
+  return *a;
+}
+
+/// Driver-level configuration: the shared BackendConfig core plus one
+/// option struct per backend (only the selected backend's options are
+/// read).
+struct ParallelSortConfig : BackendConfig {
   ParallelSortAlgorithm algorithm = ParallelSortAlgorithm::kExtPsrs;
-  seq::ExternalSortConfig sequential;
-  u64 message_records = 8192;
-  u64 sampling_oversample = 1;  ///< PSRS only
-  u32 overpartition_s = 4;      ///< overpartitioning only
-  std::string input = "input";
-  std::string output = "sorted";
+  ExtPsrsOptions psrs;
+  ExtDistributionOptions distribution;
+  ExtOverpartitionOptions overpartition;
+  ExtMultiwayOptions multiway;
 };
 
-/// Uniform per-node result across the algorithms.
-struct ParallelSortReport {
-  u64 local_records = 0;
-  u64 final_records = 0;
-  double t_total = 0.0;
-};
+/// Uniform per-node result across the algorithms — the common slice of
+/// whatever the backend reported (including output layout and, for the
+/// bucket layout, the owned-bucket list).
+using ParallelSortReport = BackendReport;
 
-/// SPMD body: dispatches to the selected algorithm.
+namespace detail {
+
+/// Builds a backend's full config from the shared core plus its own
+/// options — both are bases of `Config`, so this is two slice-assignments
+/// — runs the backend, and returns the common slice of its report.
+template <typename Config, typename Options, typename Fn>
+ParallelSortReport run_backend(const BackendConfig& common,
+                               const Options& options, Fn&& run) {
+  Config config;
+  static_cast<BackendConfig&>(config) = common;
+  static_cast<Options&>(config) = options;
+  return run(config);
+}
+
+}  // namespace detail
+
+/// SPMD body: dispatches to the selected backend.
 template <Record T, typename Less = std::less<T>>
 ParallelSortReport parallel_external_sort(net::NodeContext& ctx,
                                           const hetero::PerfVector& perf,
                                           const ParallelSortConfig& config,
                                           Less less = {}) {
-  ParallelSortReport out;
   switch (config.algorithm) {
-    case ParallelSortAlgorithm::kExtPsrs: {
-      ExtPsrsConfig c;
-      c.sequential = config.sequential;
-      c.message_records = config.message_records;
-      c.sampling_oversample = config.sampling_oversample;
-      c.input = config.input;
-      c.output = config.output;
-      const ExtPsrsReport r = ext_psrs_sort<T, Less>(ctx, perf, c, less);
-      out.local_records = r.local_records;
-      out.final_records = r.final_records;
-      out.t_total = r.t_total;
-      return out;
-    }
-    case ParallelSortAlgorithm::kExtDistribution: {
-      ExtDistributionConfig c;
-      c.sequential = config.sequential;
-      c.message_records = config.message_records;
-      c.input = config.input;
-      c.output = config.output;
-      const ExtDistributionReport r =
-          ext_distribution_sort<T, Less>(ctx, perf, c, less);
-      out.local_records = r.local_records;
-      out.final_records = r.final_records;
-      out.t_total = r.t_total;
-      return out;
-    }
-    case ParallelSortAlgorithm::kExtOverpartition: {
-      ExtOverpartitionConfig c;
-      c.sequential = config.sequential;
-      c.message_records = config.message_records;
-      c.s = config.overpartition_s;
-      c.input = config.input;
-      c.output = config.output;
-      const ExtOverpartitionReport r =
-          ext_overpartition_sort<T, Less>(ctx, perf, c, less);
-      out.local_records = r.local_records;
-      out.final_records = r.final_records;
-      out.t_total = r.t_total;
-      return out;
-    }
+    case ParallelSortAlgorithm::kExtPsrs:
+      return detail::run_backend<ExtPsrsConfig>(
+          config, config.psrs, [&](const ExtPsrsConfig& c) {
+            return ext_psrs_sort<T, Less>(ctx, perf, c, less);
+          });
+    case ParallelSortAlgorithm::kExtDistribution:
+      return detail::run_backend<ExtDistributionConfig>(
+          config, config.distribution, [&](const ExtDistributionConfig& c) {
+            return ext_distribution_sort<T, Less>(ctx, perf, c, less);
+          });
+    case ParallelSortAlgorithm::kExtOverpartition:
+      return detail::run_backend<ExtOverpartitionConfig>(
+          config, config.overpartition, [&](const ExtOverpartitionConfig& c) {
+            return ext_overpartition_sort<T, Less>(ctx, perf, c, less);
+          });
+    case ParallelSortAlgorithm::kExtMultiway:
+      return detail::run_backend<ExtMultiwayConfig>(
+          config, config.multiway, [&](const ExtMultiwayConfig& c) {
+            return ext_multiway_sort<T, Less>(ctx, perf, c, less);
+          });
   }
-  PALADIN_ASSERT(false);
-  return out;
+  PALADIN_UNREACHABLE();
 }
 
 }  // namespace paladin::core

@@ -33,7 +33,7 @@ inline const char* to_string(SortStrategy s) {
     case SortStrategy::kBalancedKWay: return "balanced-kway";
     case SortStrategy::kCascade: return "cascade";
   }
-  return "?";
+  PALADIN_UNREACHABLE();
 }
 
 struct ExternalSortConfig {
@@ -124,8 +124,7 @@ ExternalSortResult external_sort(pdm::Disk& disk, const std::string& input,
       return result;
     }
   }
-  PALADIN_ASSERT(false);
-  return result;
+  PALADIN_UNREACHABLE();
 }
 
 }  // namespace paladin::seq

@@ -150,8 +150,7 @@ RunLayout form_runs(RunFormation strategy, pdm::BlockReader<T>& input,
       return form_runs_replacement_selection(input, out, memory_records, meter,
                                              less);
   }
-  PALADIN_ASSERT(false);
-  return {};
+  PALADIN_UNREACHABLE();
 }
 
 }  // namespace paladin::seq

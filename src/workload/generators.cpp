@@ -40,8 +40,25 @@ const char* to_string(Dist dist) {
     case Dist::kReverseSorted: return "reverse-sorted";
     case Dist::kDuplicates: return "duplicates";
     case Dist::kAlmostSorted: return "almost-sorted";
+    case Dist::kZipf: return "zipf";
   }
-  return "?";
+  PALADIN_UNREACHABLE();
+}
+
+std::optional<Dist> try_parse_dist(std::string_view name) {
+  for (const Dist d : kAllDists) {
+    if (name == to_string(d)) return d;
+  }
+  return std::nullopt;
+}
+
+std::string dist_names() {
+  std::string names;
+  for (const Dist d : kAllDists) {
+    if (!names.empty()) names += ", ";
+    names += to_string(d);
+  }
+  return names;
 }
 
 std::vector<DefaultKey> generate_share(const WorkloadSpec& spec, u32 node,
@@ -143,6 +160,24 @@ std::vector<DefaultKey> generate_share(const WorkloadSpec& spec, u32 node,
         } else {
           out.push_back(static_cast<DefaultKey>(rng.next()));
         }
+      }
+      break;
+    }
+
+    case Dist::kZipf: {
+      // Zipf(θ≈1) over 1024 distinct keys via the inverse CDF of the
+      // continuous approximation: rank r = ⌊e^{u·ln K}⌋−1 appears with
+      // probability ∝ 1/(r+1).  The rank is hash-scattered over the key
+      // space so the hot keys are exact duplicates in no particular order
+      // — heavy duplicate mass without kDuplicates' single pinned value,
+      // adversarial for splitter selection.
+      constexpr u64 kZipfKeys = 1024;
+      const double ln_k = std::log(static_cast<double>(kZipfKeys));
+      for (u64 i = 0; i < count; ++i) {
+        const double u = rng.next_double();
+        const u64 r = std::min<u64>(
+            static_cast<u64>(std::exp(u * ln_k)) - 1, kZipfKeys - 1);
+        out.push_back(static_cast<DefaultKey>(mix64(0x21bf00ULL + r)));
       }
       break;
     }

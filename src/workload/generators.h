@@ -7,8 +7,10 @@
 // of (spec, node, offset) so any node can produce its slice independently.
 #pragma once
 
+#include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "base/rng.h"
@@ -30,15 +32,32 @@ enum class Dist : u8 {
   kReverseSorted,  ///< globally reverse sorted
   kDuplicates,     ///< dup_fraction of keys equal one value, rest uniform
   kAlmostSorted,   ///< globally sorted with ~1% locally displaced keys
+  kZipf,           ///< Zipf-skewed over ~1K distinct hash-scattered keys —
+                   ///< heavy duplicate mass, adversarial for samplers
 };
 
+/// The paper's eight benchmark inputs (§4), in benchmark order.
 inline constexpr Dist kAllBenchmarks[] = {
     Dist::kUniform,      Dist::kGaussian,  Dist::kZero,
     Dist::kBucketSorted, Dist::kGGroup,    Dist::kStaggered,
     Dist::kSorted,       Dist::kReverseSorted,
 };
 
+/// Every distribution, for name parsing and exhaustive sweeps.
+inline constexpr Dist kAllDists[] = {
+    Dist::kUniform,   Dist::kGaussian,      Dist::kZero,
+    Dist::kBucketSorted, Dist::kGGroup,     Dist::kStaggered,
+    Dist::kSorted,    Dist::kReverseSorted, Dist::kDuplicates,
+    Dist::kAlmostSorted, Dist::kZipf,
+};
+
 const char* to_string(Dist dist);
+
+/// Name → distribution, or nullopt for an unknown name.
+std::optional<Dist> try_parse_dist(std::string_view name);
+
+/// Comma-separated list of valid distribution names, for error messages.
+std::string dist_names();
 
 struct WorkloadSpec {
   Dist dist = Dist::kUniform;

@@ -1,6 +1,7 @@
 // Property-based soak tier (ctest label `soak`, docs/ROBUSTNESS.md): a
 // seeded sweep over (cluster shape, perf vector, distribution, message
-// size, fault plan) cases running the pipelined external PSRS end to end.
+// size, fault plan) cases running the pipelined external PSRS (and, on
+// ~25% of cases, the multiway backend) end to end.
 // Every case asserts the std::sort oracle on the concatenated output,
 // exact record conservation, and the recovery-matching invariants (every
 // injected transient fault paired with a retry / re-read / retransmit /
@@ -11,7 +12,8 @@
 // across three shards so ctest -j overlaps them); nightly CI raises it.
 // On failure the assertion message carries a one-line repro:
 //   PALADIN_SOAK_REPRO case=<i> p=... perf=... dist=... k=... mrec=...
-//   cfgseed=... plan={seed=... dr=... dw=... dc=... nd=... nu=... ny=...}
+//   algo=... cfgseed=... plan={seed=... dr=... dw=... dc=... nd=... nu=...
+//   ny=...}
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -21,6 +23,7 @@
 #include <vector>
 
 #include "base/rng.h"
+#include "core/ext_multiway.h"
 #include "core/ext_psrs.h"
 #include "core/verify.h"
 #include "fault/fault.h"
@@ -56,6 +59,7 @@ struct SoakCase {
   u64 k;
   u64 message_records;
   u64 config_seed;
+  bool multiway = false;  ///< ~25% of cases run the multiway backend instead
   FaultPlan plan;
   std::string repro;
 };
@@ -100,12 +104,16 @@ SoakCase make_case(u64 index) {
       c.plan.net.duplicate_prob = rate();
       break;
   }
+  // Drawn last so the parameters of pre-existing cases are unchanged.
+  c.multiway = gen.next() % 4 == 0;
 
   std::ostringstream repro;
   repro << "PALADIN_SOAK_REPRO case=" << index << " p=" << p << " perf=[";
   for (u32 i = 0; i < p; ++i) repro << (i ? "," : "") << c.perf[i];
   repro << "] dist=" << workload::to_string(c.dist) << " k=" << c.k
-        << " mrec=" << c.message_records << " cfgseed=" << c.config_seed
+        << " mrec=" << c.message_records
+        << " algo=" << (c.multiway ? "ext-multiway" : "ext-psrs")
+        << " cfgseed=" << c.config_seed
         << " plan={seed=" << c.plan.seed
         << " dr=" << c.plan.disk.read_fail_prob
         << " dw=" << c.plan.disk.write_fail_prob
@@ -156,13 +164,22 @@ SoakResult run_case(const SoakCase& c) {
         core::file_checksum<DefaultKey>(ctx.disk(), "input");
     NodeResult r;
     r.input = pdm::read_file<DefaultKey>(ctx.disk(), "input");
-    ExtPsrsConfig psrs;
-    psrs.sequential.memory_records = test_params::kMemoryRecords;
-    psrs.sequential.tape_count = test_params::kTapeCount;
-    psrs.sequential.allow_in_memory = false;
-    psrs.message_records = c.message_records;
-    psrs.pipelined = true;
-    core::ext_psrs_sort<DefaultKey>(ctx, perf, psrs);
+    if (c.multiway) {
+      core::ExtMultiwayConfig mw;
+      mw.sequential.memory_records = test_params::kMemoryRecords;
+      mw.sequential.tape_count = test_params::kTapeCount;
+      mw.sequential.allow_in_memory = false;
+      mw.message_records = c.message_records;
+      core::ext_multiway_sort<DefaultKey>(ctx, perf, mw);
+    } else {
+      ExtPsrsConfig psrs;
+      psrs.sequential.memory_records = test_params::kMemoryRecords;
+      psrs.sequential.tape_count = test_params::kTapeCount;
+      psrs.sequential.allow_in_memory = false;
+      psrs.message_records = c.message_records;
+      psrs.pipelined = true;
+      core::ext_psrs_sort<DefaultKey>(ctx, perf, psrs);
+    }
     r.sorted = core::verify_global_order<DefaultKey>(ctx, "sorted");
     r.permuted =
         core::verify_global_permutation<DefaultKey>(ctx, before, "sorted");

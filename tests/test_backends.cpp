@@ -1,0 +1,234 @@
+// The backend contract, enforced uniformly across all four parallel
+// external sorts through the driver seam (core/sort_driver.h):
+//
+//  * oracle — whatever the backend's output layout, the globally collected
+//    output IS the std::sort of the concatenated input (which subsumes
+//    record conservation and global order) — on the adversarial inputs
+//    (all-equal, pre-sorted, reverse-sorted, zipf-skewed, duplicates-heavy)
+//    and p ∈ {1, 2, 4} with unequal perf;
+//  * determinism — a bit-identical re-run: same output bytes, same virtual
+//    makespan, per (seed, config);
+//  * the parse/name round-trip and the driver's report slice (layout +
+//    owned buckets) that collect_sorted_output consumes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/backend.h"
+#include "core/sort_driver.h"
+#include "core/verify.h"
+#include "hetero/perf_vector.h"
+#include "net/cluster.h"
+#include "pdm/typed_io.h"
+#include "test_params.h"
+#include "workload/generators.h"
+
+namespace paladin::core {
+namespace {
+
+using hetero::PerfVector;
+using net::Cluster;
+using net::ClusterConfig;
+using net::NodeContext;
+using workload::Dist;
+using workload::WorkloadSpec;
+
+// The adversarial slice of the input space the backends must all survive:
+// every key equal, already sorted, reverse sorted, zipf-skewed duplicate
+// mass, and parametric duplicates.
+constexpr Dist kAdversarial[] = {
+    Dist::kZero,       Dist::kSorted, Dist::kReverseSorted,
+    Dist::kDuplicates, Dist::kZipf,
+};
+
+const std::vector<std::vector<u32>> kPerfSets = {
+    {1},           // p = 1, degenerate cluster
+    {2, 1},        // p = 2, 2:1 speed ratio
+    {4, 2, 1, 1},  // p = 4, the paper's heterogeneous shape
+};
+
+struct BackendRun {
+  std::vector<DefaultKey> input;   ///< concatenated shares, rank order
+  std::vector<DefaultKey> output;  ///< globally collected sorted sequence
+  double makespan = 0.0;
+  bool layout_ok = true;
+};
+
+BackendRun run_backend(ParallelSortAlgorithm algo,
+                       const std::vector<u32>& perf_values, Dist dist,
+                       u64 seed) {
+  PerfVector perf(perf_values);
+  const u64 n = perf.admissible_size(96);
+
+  ClusterConfig config;
+  config.perf = perf_values;
+  config.disk = test_params::tiny_blocks();
+  config.seed = seed;
+  Cluster cluster(config);
+
+  WorkloadSpec spec;
+  spec.dist = dist;
+  spec.total_records = n;
+  spec.node_count = perf.node_count();
+  spec.seed = seed ^ 0xbac0;
+
+  ParallelSortConfig psc;
+  psc.algorithm = algo;
+  psc.sequential.memory_records = test_params::kMemoryRecords;
+  psc.sequential.tape_count = test_params::kTapeCount;
+  psc.sequential.allow_in_memory = false;
+  psc.message_records = test_params::kMessageRecords;
+
+  struct NodeResult {
+    std::vector<DefaultKey> input;
+    std::vector<DefaultKey> collected;  // root only
+    bool layout_ok = true;
+  };
+  auto outcome = cluster.run([&](NodeContext& ctx) -> NodeResult {
+    workload::write_share(spec, ctx.rank(), perf.share_offset(ctx.rank(), n),
+                          perf.share(ctx.rank(), n), ctx.disk(), "input");
+    NodeResult r;
+    r.input = pdm::read_file<DefaultKey>(ctx.disk(), "input");
+
+    const ParallelSortReport report =
+        parallel_external_sort<DefaultKey>(ctx, perf, psc);
+
+    // The report's layout slice must describe what is actually on disk.
+    if (report.layout == OutputLayout::kContiguousSlice) {
+      r.layout_ok = report.owned_buckets.empty() &&
+                    is_sorted_file<DefaultKey>(ctx.disk(), psc.output);
+    } else {
+      for (const u64 b : report.owned_buckets) {
+        r.layout_ok = r.layout_ok &&
+                      is_sorted_file<DefaultKey>(
+                          ctx.disk(), bucket_file_name(psc.output, b));
+      }
+    }
+
+    collect_sorted_output<DefaultKey>(ctx, psc, report, "all.out", 0);
+    if (ctx.rank() == 0) {
+      r.collected = pdm::read_file<DefaultKey>(ctx.disk(), "all.out");
+    }
+    return r;
+  });
+
+  BackendRun run;
+  run.makespan = outcome.makespan;
+  for (u32 i = 0; i < perf.node_count(); ++i) {
+    NodeResult& nr = outcome.results[i];
+    run.input.insert(run.input.end(), nr.input.begin(), nr.input.end());
+    run.layout_ok = run.layout_ok && nr.layout_ok;
+  }
+  run.output = std::move(outcome.results[0].collected);
+  return run;
+}
+
+void check_backend_matrix(ParallelSortAlgorithm algo) {
+  u64 seed = 7;
+  for (const std::vector<u32>& perf : kPerfSets) {
+    for (const Dist dist : kAdversarial) {
+      SCOPED_TRACE(std::string(to_string(algo)) + " dist=" +
+                   workload::to_string(dist) + " p=" +
+                   std::to_string(perf.size()));
+      const BackendRun first = run_backend(algo, perf, dist, seed);
+
+      // Oracle: the collected output IS the std::sort of the input.  This
+      // subsumes record conservation (same multiset) and global order.
+      std::vector<DefaultKey> oracle = first.input;
+      std::sort(oracle.begin(), oracle.end());
+      ASSERT_EQ(first.output.size(), first.input.size());
+      ASSERT_EQ(first.output, oracle);
+      ASSERT_TRUE(first.layout_ok);
+
+      // Determinism: the whole run replays bitwise — output bytes and
+      // virtual makespan — from (seed, config) alone.
+      const BackendRun again = run_backend(algo, perf, dist, seed);
+      ASSERT_EQ(again.output, first.output);
+      ASSERT_EQ(again.makespan, first.makespan);
+      ++seed;
+    }
+  }
+}
+
+TEST(Backends, ExtPsrsOracleAndDeterminism) {
+  check_backend_matrix(ParallelSortAlgorithm::kExtPsrs);
+}
+
+TEST(Backends, ExtDistributionOracleAndDeterminism) {
+  check_backend_matrix(ParallelSortAlgorithm::kExtDistribution);
+}
+
+TEST(Backends, ExtOverpartitionOracleAndDeterminism) {
+  check_backend_matrix(ParallelSortAlgorithm::kExtOverpartition);
+}
+
+TEST(Backends, ExtMultiwayOracleAndDeterminism) {
+  check_backend_matrix(ParallelSortAlgorithm::kExtMultiway);
+}
+
+// The multiway backend does not require the Equation-2 share layout: a
+// lopsided hand-built split must still sort.
+TEST(Backends, ExtMultiwayToleratesNonAdmissibleShares) {
+  const std::vector<u32> perf_values = {3, 1};
+  PerfVector perf(perf_values);
+  ClusterConfig config;
+  config.perf = perf_values;
+  config.disk = test_params::tiny_blocks();
+  config.seed = 99;
+  Cluster cluster(config);
+
+  // 101 and 56 records: not perf-proportional, not even block-aligned.
+  const u64 shares[] = {101, 56};
+  struct R {
+    std::vector<DefaultKey> input;
+    std::vector<DefaultKey> output;
+  };
+  auto outcome = cluster.run([&](NodeContext& ctx) -> R {
+    Xoshiro256 rng(1234 + ctx.rank());
+    std::vector<DefaultKey> data(shares[ctx.rank()]);
+    for (auto& v : data) v = static_cast<DefaultKey>(rng.next());
+    pdm::write_file<DefaultKey>(ctx.disk(), "input",
+                                std::span<const DefaultKey>(data));
+    ExtMultiwayConfig mc;
+    mc.sequential.memory_records = test_params::kMemoryRecords;
+    mc.sequential.allow_in_memory = false;
+    mc.message_records = test_params::kMessageRecords;
+    ext_multiway_sort<DefaultKey>(ctx, perf, mc);
+    R r;
+    r.input = std::move(data);
+    r.output = pdm::read_file<DefaultKey>(ctx.disk(), "sorted");
+    return r;
+  });
+
+  std::vector<DefaultKey> input;
+  std::vector<DefaultKey> output;
+  for (auto& nr : outcome.results) {
+    input.insert(input.end(), nr.input.begin(), nr.input.end());
+    output.insert(output.end(), nr.output.begin(), nr.output.end());
+  }
+  std::sort(input.begin(), input.end());
+  EXPECT_EQ(output, input);
+}
+
+// parse_algorithm round-trips every name; unknown names violate the
+// contract with a message listing the valid ones.
+TEST(Backends, AlgorithmNamesParseAndRoundTrip) {
+  for (const ParallelSortAlgorithm a : kAllAlgorithms) {
+    EXPECT_EQ(parse_algorithm(to_string(a)), a);
+  }
+  EXPECT_FALSE(try_parse_algorithm("quick-sort").has_value());
+  try {
+    parse_algorithm("quick-sort");
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("quick-sort"), std::string::npos);
+    EXPECT_NE(what.find("ext-psrs"), std::string::npos);
+    EXPECT_NE(what.find("ext-multiway"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace paladin::core

@@ -20,7 +20,7 @@ ctest --test-dir build --output-on-failure
 mkdir -p bench_results
 for bench in table2_seqsort table3_parallel msgsize_sweep io_bound \
              pivot_ablation duplicates scalability widerecords staging \
-             pdm_params; do
+             pdm_params backends; do
   echo "== bench_${bench} =="
   # shellcheck disable=SC2086
   ./build/bench/bench_${bench} ${SCALE_FLAG} \
