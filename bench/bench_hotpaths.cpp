@@ -2,16 +2,21 @@
 // write and merge kernels on a real (posix) disk under the three I/O
 // modes — per-record, bulk, and bulk+overlapped — and emits both a text
 // table and a machine-readable bench_results/BENCH_hotpaths.json with the
-// median ns/record per (kernel, mode).  Block-I/O counts are reported per
-// row so a mode that got faster by *doing less metered work* (instead of
-// doing the same work faster) shows up immediately; the equivalence tests
-// enforce the same invariant bit-exactly.
+// best-of-reps ns/record per (kernel, mode).  Block-I/O counts and metered
+// comparisons are reported per row so a mode that got faster by *doing
+// less metered work* (instead of doing the same work faster) shows up
+// immediately; the equivalence tests enforce the same invariant
+// bit-exactly.  The merge kernels sweep the fan-in (k ∈ {4..256}) and
+// include a Zipf-skewed input — the duplicate-heavy regime where the
+// gallop path behaves differently from uniform keys.
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -27,6 +32,7 @@
 #include "seq/kway_merge.h"
 #include "seq/loser_tree.h"
 #include "seq/run_formation.h"
+#include "workload/generators.h"
 
 namespace paladin::bench {
 namespace {
@@ -37,6 +43,7 @@ struct Row {
   u64 records = 0;
   double ns_per_record = 0.0;
   u64 block_ios = 0;
+  double compares_per_record = 0.0;
 };
 
 struct Mode {
@@ -66,17 +73,22 @@ double time_seconds(F&& f) {
       .count();
 }
 
-double median(std::vector<double> v) {
-  std::sort(v.begin(), v.end());
-  const std::size_t n = v.size();
-  return n % 2 == 1 ? v[n / 2] : (v[n / 2 - 1] + v[n / 2]) / 2.0;
-}
-
 std::vector<u32> random_keys(u64 n, u64 seed) {
   Xoshiro256 rng(seed);
   std::vector<u32> v(n);
   for (auto& x : v) x = static_cast<u32>(rng.next());
   return v;
+}
+
+/// n Zipf-skewed keys (workload::Dist::kZipf): ~1K distinct hash-scattered
+/// values with heavy duplicate mass.
+std::vector<u32> zipf_keys(u64 n, u64 seed) {
+  workload::WorkloadSpec spec;
+  spec.dist = workload::Dist::kZipf;
+  spec.total_records = n;
+  spec.node_count = 1;
+  spec.seed = seed;
+  return workload::generate_share(spec, 0, 0, n);
 }
 
 /// k sorted runs laid back-to-back; `partitioned` makes them a range
@@ -87,23 +99,54 @@ struct MergeInput {
   seq::RunLayout layout;
 };
 
+/// Chunks an (unsorted) key stream into k equal runs and sorts each —
+/// fully interleaved key ranges, whatever the key distribution.
+MergeInput make_interleaved(std::vector<u32> keys, u64 k) {
+  MergeInput in;
+  const u64 per_run = keys.size() / k;
+  in.layout.total_records = k * per_run;
+  in.layout.run_lengths.assign(k, per_run);
+  keys.resize(k * per_run);
+  for (u64 i = 0; i < k; ++i) {
+    std::sort(keys.begin() + static_cast<std::ptrdiff_t>(i * per_run),
+              keys.begin() + static_cast<std::ptrdiff_t>((i + 1) * per_run));
+  }
+  in.records = std::move(keys);
+  return in;
+}
+
 MergeInput make_merge_input(u64 k, u64 per_run, bool partitioned) {
+  if (!partitioned) return make_interleaved(random_keys(k * per_run, 100), k);
   MergeInput in;
   in.layout.total_records = k * per_run;
   in.layout.run_lengths.assign(k, per_run);
-  if (partitioned) {
-    in.records = random_keys(k * per_run, 31);
-    std::sort(in.records.begin(), in.records.end());
-  } else {
-    in.records.reserve(k * per_run);
-    for (u64 i = 0; i < k; ++i) {
-      auto run = random_keys(per_run, 100 + i);
-      std::sort(run.begin(), run.end());
-      in.records.insert(in.records.end(), run.begin(), run.end());
-    }
-  }
+  in.records = random_keys(k * per_run, 31);
+  std::sort(in.records.begin(), in.records.end());
   return in;
 }
+
+/// One timed repetition's outcome.
+struct RepResult {
+  double seconds = 0.0;
+  u64 block_ios = 0;
+  u64 compares = 0;
+};
+
+/// Persistent network state for the net-merge kernels: the fabric (and its
+/// shared buffer pool) lives across repetitions so payload buffers are
+/// recycled instead of re-allocated per rep — the allocation noise used to
+/// dominate rep-to-rep variance.
+struct NetState {
+  net::Fabric fabric;
+  net::VirtualClock clock;
+  std::vector<net::Communicator> comms;
+
+  explicit NetState(u64 k)
+      : fabric(static_cast<u32>(k + 1), net::NetworkModel::infinite()) {
+    comms.reserve(k + 1);
+    for (u32 r = 0; r < k + 1; ++r) comms.emplace_back(fabric, r, clock);
+  }
+};
 
 int run(const BenchOptions& opt) {
   const u64 n = opt.full ? (u64{1} << 22) : (u64{1} << 20);
@@ -117,72 +160,86 @@ int run(const BenchOptions& opt) {
   std::filesystem::remove_all(scratch);
   std::filesystem::create_directories(scratch);
 
-  heading("Hot-path kernels on a real disk: median ns/record per I/O mode");
-  metrics::TextTable table(
-      {"kernel", "mode", "records", "ns/record", "block IOs", "vs per-record"});
+  heading("Hot-path kernels on a real disk: best-of-reps ns/record per mode");
+  metrics::TextTable table({"kernel", "mode", "records", "ns/record",
+                            "block IOs", "cmp/rec", "vs per-record"});
   std::vector<Row> rows;
 
   struct Kernel {
     std::string name;
-    // Returns (seconds, block IOs) for one timed repetition.
-    std::function<std::pair<double, u64>(const Mode&)> rep;
+    std::function<RepResult(const Mode&)> rep;
   };
 
   const MergeInput presorted = make_merge_input(k, n / k, true);
   const MergeInput interleaved = make_merge_input(k, n / k, false);
+  const MergeInput zipf = make_interleaved(zipf_keys(n, 93), k);
 
   auto disk_for = [&](const Mode& m) {
     return pdm::Disk::posix(scratch, mode_params(m));
   };
 
   std::vector<Kernel> kernels;
-  kernels.push_back(
-      {"write", [&](const Mode& m) -> std::pair<double, u64> {
-         pdm::Disk disk = disk_for(m);
-         disk.reset_stats();
-         const double s = time_seconds([&] {
-           pdm::write_file<u32>(disk, "w", std::span<const u32>(data));
-         });
-         const u64 ios = disk.stats().total_block_ios();
-         disk.remove("w");
-         return {s, ios};
-       }});
-  kernels.push_back(
-      {"read", [&](const Mode& m) -> std::pair<double, u64> {
-         pdm::Disk disk = disk_for(m);
-         pdm::write_file<u32>(disk, "r", std::span<const u32>(data));
-         disk.reset_stats();
-         std::vector<u32> back;
-         const double s =
-             time_seconds([&] { back = pdm::read_file<u32>(disk, "r"); });
-         PALADIN_ASSERT(back.size() == n);
-         const u64 ios = disk.stats().total_block_ios();
-         disk.remove("r");
-         return {s, ios};
-       }});
-  auto merge_kernel = [&](const MergeInput& in) {
-    return [&](const Mode& m) -> std::pair<double, u64> {
+  kernels.push_back({"write", [&](const Mode& m) -> RepResult {
+                       pdm::Disk disk = disk_for(m);
+                       disk.reset_stats();
+                       const double s = time_seconds([&] {
+                         pdm::write_file<u32>(disk, "w",
+                                              std::span<const u32>(data));
+                       });
+                       const u64 ios = disk.stats().total_block_ios();
+                       disk.remove("w");
+                       return {s, ios, 0};
+                     }});
+  kernels.push_back({"read", [&](const Mode& m) -> RepResult {
+                       pdm::Disk disk = disk_for(m);
+                       pdm::write_file<u32>(disk, "r",
+                                            std::span<const u32>(data));
+                       disk.reset_stats();
+                       std::vector<u32> back;
+                       const double s = time_seconds(
+                           [&] { back = pdm::read_file<u32>(disk, "r"); });
+                       PALADIN_ASSERT(back.size() == n);
+                       const u64 ios = disk.stats().total_block_ios();
+                       disk.remove("r");
+                       return {s, ios, 0};
+                     }});
+  // Captures the input by pointer: the MergeInputs outlive the kernel list.
+  auto merge_kernel = [&](const MergeInput* in) {
+    return [&, in](const Mode& m) -> RepResult {
+      const u64 runs = in->layout.run_count();
       pdm::Disk disk = disk_for(m);
-      pdm::write_file<u32>(disk, "runs", std::span<const u32>(in.records));
+      pdm::write_file<u32>(disk, "runs", std::span<const u32>(in->records));
       disk.reset_stats();
-      NullMeter meter;
+      CountingMeter meter;
       u64 merged = 0;
       const double s = time_seconds([&] {
         pdm::BlockFile out = disk.create("merged");
         pdm::BlockWriter<u32> writer(out);
-        merged = seq::merge_run_group<u32>(disk, "runs", in.layout, 0, k,
+        merged = seq::merge_run_group<u32>(disk, "runs", in->layout, 0, runs,
                                            writer, meter);
         writer.flush();
       });
-      PALADIN_ASSERT(merged == in.layout.total_records);
+      PALADIN_ASSERT(merged == in->layout.total_records);
       const u64 ios = disk.stats().total_block_ios();
       disk.remove("runs");
       disk.remove("merged");
-      return {s, ios};
+      return {s, ios, meter.compares};
     };
   };
-  kernels.push_back({"merge-presorted", merge_kernel(presorted)});
-  kernels.push_back({"merge-random", merge_kernel(interleaved)});
+  kernels.push_back({"merge-presorted", merge_kernel(&presorted)});
+  kernels.push_back({"merge-random", merge_kernel(&interleaved)});
+  kernels.push_back({"merge-zipf", merge_kernel(&zipf)});
+
+  // Fan-in sweep: same total volume, k runs of n/k records each.  The
+  // tree depth (⌈log2 k⌉ compares per record) and the per-source buffer
+  // pressure both scale with k.
+  std::vector<std::unique_ptr<MergeInput>> sweep_inputs;
+  for (u64 fan : {u64{4}, u64{16}, u64{64}, u64{256}}) {
+    sweep_inputs.push_back(std::make_unique<MergeInput>(
+        make_interleaved(random_keys(n, 200 + fan), fan)));
+    kernels.push_back({"merge-random-k" + std::to_string(fan),
+                       merge_kernel(sweep_inputs.back().get())});
+  }
 
   // Pipeline kernels: the two halves the fused steps 3–5 are made of.
   // chunk-emit streams a sorted file through the PartitionStream into
@@ -196,12 +253,12 @@ int run(const BenchOptions& opt) {
     pivots.push_back(presorted.records[j * (n / k)]);
   }
   kernels.push_back(
-      {"chunk-emit", [&](const Mode& m) -> std::pair<double, u64> {
+      {"chunk-emit", [&](const Mode& m) -> RepResult {
          pdm::Disk disk = disk_for(m);
          pdm::write_file<u32>(disk, "sorted",
                               std::span<const u32>(presorted.records));
          disk.reset_stats();
-         NullMeter meter;
+         CountingMeter meter;
          u64 emitted = 0;
          const double s = time_seconds([&] {
            pdm::BlockFile f = disk.open("sorted");
@@ -220,83 +277,106 @@ int run(const BenchOptions& opt) {
          PALADIN_ASSERT(emitted == n);
          const u64 ios = disk.stats().total_block_ios();
          disk.remove("sorted");
-         return {s, ios};
+         return {s, ios, meter.compares};
        }});
+  // One fabric per net-merge kernel, k sender ranks + rank 0 as the
+  // merging receiver, alive across all modes and reps (see NetState).
+  // All chunks are pre-delivered (free wire: the kernel times the
+  // adopt→merge→write machinery, not the simulated link).
+  auto net_merge_kernel = [&](const MergeInput* in,
+                              std::shared_ptr<NetState> st) {
+    return [&, in, st](const Mode& m) -> RepResult {
+      const u64 per_run = n / k;
+      for (u64 run = 0; run < k; ++run) {
+        const u32* base = in->records.data() + run * per_run;
+        for (u64 off = 0; off < per_run; off += kChunkRecords) {
+          const u64 take = std::min<u64>(kChunkRecords, per_run - off);
+          // Recycled from the fabric pool: the merge released last rep's
+          // payloads there as it consumed them.
+          std::vector<u8> payload = st->comms[run + 1].pool().acquire();
+          payload.resize(take * sizeof(u32));
+          std::memcpy(payload.data(), base + off, payload.size());
+          st->comms[run + 1].isend_payload(st->clock, 0, 1,
+                                           std::move(payload));
+        }
+        st->comms[run + 1].isend_payload(st->clock, 0, 1, {});  // EOS
+      }
+      pdm::Disk disk = disk_for(m);
+      disk.reset_stats();
+      CountingMeter meter;
+      u64 merged = 0;
+      const double s = time_seconds([&] {
+        std::vector<core::NetworkRunSource<u32>> net_sources;
+        net_sources.reserve(k);
+        for (u32 r = 0; r < k; ++r) {
+          net_sources.emplace_back(st->comms[0], st->clock, r + 1, 1, 2,
+                                   nullptr);
+        }
+        std::vector<core::NetworkRunSource<u32>*> sources;
+        for (auto& src : net_sources) sources.push_back(&src);
+        pdm::BlockFile out = disk.create("merged");
+        pdm::BlockWriter<u32> writer(out);
+        seq::LoserTree<u32, core::NetworkRunSource<u32>> tree(
+            std::move(sources), std::less<u32>(), &meter);
+        if (m.bulk) {
+          merged = tree.pop_run_into(writer);
+        } else {
+          while (const u32* top = tree.peek()) {
+            writer.push(*top);
+            tree.pop_discard();
+            ++merged;
+          }
+        }
+        writer.flush();
+      });
+      PALADIN_ASSERT(merged == in->layout.total_records);
+      // Drain the per-chunk acks out of the sender mailboxes so they do
+      // not accumulate across reps.
+      for (u64 run = 0; run < k; ++run) {
+        while (st->comms[run + 1].try_recv_packet_on(st->clock, 0, 2)) {
+        }
+      }
+      const u64 ios = disk.stats().total_block_ios();
+      disk.remove("merged");
+      return {s, ios, meter.compares};
+    };
+  };
   kernels.push_back(
-      {"net-merge", [&](const Mode& m) -> std::pair<double, u64> {
-         // One fabric, k sender ranks + rank 0 as the merging receiver.
-         // All chunks are pre-delivered (free wire: the kernel times the
-         // adopt→merge→write machinery, not the simulated link).
-         net::Fabric fabric(static_cast<u32>(k + 1), net::NetworkModel::infinite());
-         net::VirtualClock clock;
-         std::vector<net::Communicator> comms;
-         for (u32 r = 0; r < k + 1; ++r) comms.emplace_back(fabric, r, clock);
-         for (u64 run = 0; run < k; ++run) {
-           const u32* base = interleaved.records.data() + run * (n / k);
-           for (u64 off = 0; off < n / k; off += kChunkRecords) {
-             const u64 take = std::min<u64>(kChunkRecords, n / k - off);
-             std::vector<u8> payload(take * sizeof(u32));
-             std::memcpy(payload.data(), base + off, payload.size());
-             comms[run + 1].isend_payload(clock, 0, 1, std::move(payload));
-           }
-           comms[run + 1].isend_payload(clock, 0, 1, {});  // end-of-stream
-         }
-         pdm::Disk disk = disk_for(m);
-         disk.reset_stats();
-         NullMeter meter;
-         u64 merged = 0;
-         const double s = time_seconds([&] {
-           std::vector<core::NetworkRunSource<u32>> net_sources;
-           net_sources.reserve(k);
-           for (u32 r = 0; r < k; ++r) {
-             net_sources.emplace_back(comms[0], clock, r + 1, 1, 2, nullptr);
-           }
-           std::vector<core::NetworkRunSource<u32>*> sources;
-           for (auto& src : net_sources) sources.push_back(&src);
-           pdm::BlockFile out = disk.create("merged");
-           pdm::BlockWriter<u32> writer(out);
-           seq::LoserTree<u32, core::NetworkRunSource<u32>> tree(
-               std::move(sources), std::less<u32>(), &meter);
-           if (m.bulk) {
-             merged = tree.pop_run_into(writer);
-           } else {
-             while (const u32* top = tree.peek()) {
-               writer.push(*top);
-               tree.pop_discard();
-               ++merged;
-             }
-           }
-           writer.flush();
-         });
-         PALADIN_ASSERT(merged == n);
-         const u64 ios = disk.stats().total_block_ios();
-         disk.remove("merged");
-         return {s, ios};
-       }});
+      {"net-merge", net_merge_kernel(&interleaved, std::make_shared<NetState>(k))});
+  kernels.push_back(
+      {"net-merge-zipf", net_merge_kernel(&zipf, std::make_shared<NetState>(k))});
 
   for (const Kernel& kernel : kernels) {
     double base_ns = 0.0;
     for (const Mode& mode : kModes) {
       std::vector<double> samples;
       u64 ios = 0;
+      u64 compares = 0;
       kernel.rep(mode);  // warm-up (page cache, executor spin-up)
       for (u32 r = 0; r < opt.reps; ++r) {
-        const auto [s, rep_ios] = kernel.rep(mode);
-        samples.push_back(s);
-        ios = rep_ios;
+        const RepResult res = kernel.rep(mode);
+        samples.push_back(res.seconds);
+        ios = res.block_ios;
+        compares = res.compares;
       }
-      const double ns = median(samples) * 1e9 / static_cast<double>(n);
+      // Best-of-reps: transient scheduler noise only ever adds time, so the
+      // minimum is the stable estimate the regression gate diffs against.
+      const double ns = *std::min_element(samples.begin(), samples.end()) *
+                        1e9 / static_cast<double>(n);
+      const double cpr = static_cast<double>(compares) / static_cast<double>(n);
       if (std::string(mode.name) == "per-record") base_ns = ns;
-      rows.push_back({kernel.name, mode.name, n, ns, ios});
+      rows.push_back({kernel.name, mode.name, n, ns, ios, cpr});
       table.add_row({kernel.name, mode.name, std::to_string(n),
                      metrics::TextTable::fmt(ns, 2), std::to_string(ios),
+                     metrics::TextTable::fmt(cpr, 2),
                      metrics::TextTable::fmt(base_ns / ns, 2) + "x"});
     }
   }
   table.print(std::cout);
-  note("block-I/O counts must match across the modes of each kernel: the "
-       "fast paths change wall-clock only, never the metered transfer "
-       "volume (enforced bit-exactly by test_io_equivalence)");
+  note("block-I/O and compare counts must match across the modes of each "
+       "kernel: the fast paths change wall-clock only, never the metered "
+       "work (enforced bit-exactly by test_io_equivalence and "
+       "test_merge_kernels)");
 
   std::filesystem::create_directories("bench_results");
   std::ofstream json("bench_results/BENCH_hotpaths.json");
@@ -307,7 +387,8 @@ int run(const BenchOptions& opt) {
     const Row& r = rows[i];
     json << "    {\"kernel\": \"" << r.kernel << "\", \"mode\": \"" << r.mode
          << "\", \"records\": " << r.records << ", \"ns_per_record\": "
-         << r.ns_per_record << ", \"block_ios\": " << r.block_ios << "}"
+         << r.ns_per_record << ", \"block_ios\": " << r.block_ios
+         << ", \"compares_per_record\": " << r.compares_per_record << "}"
          << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   json << "  ]\n}\n";

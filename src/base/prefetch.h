@@ -1,0 +1,18 @@
+// Software prefetch hint.  A prefetch is not a memory access at the
+// language level: it never faults, never synchronizes, and is invisible to
+// the sanitizers — safe to issue against a buffer another thread is still
+// filling (the worst case is a wasted cache-line fill).
+#pragma once
+
+namespace paladin::base {
+
+/// Hints the CPU to pull the line holding `p` into cache for a read.
+inline void prefetch_read(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
+#else
+  (void)p;
+#endif
+}
+
+}  // namespace paladin::base

@@ -49,6 +49,7 @@
 #include "pdm/typed_io.h"
 #include "seq/kway_merge.h"
 #include "seq/loser_tree.h"
+#include "seq/parallel_merge.h"
 #include "seq/run_formation.h"
 
 namespace paladin::core {
@@ -120,14 +121,6 @@ u64 file_lower_bound(pdm::BlockReader<T>& reader, u64 lo, u64 hi,
   return lo;
 }
 
-/// One sorted piece of the Phase 4 merge input: `len` records of `file`
-/// starting at record `offset`.
-struct MergePiece {
-  std::string file;
-  u64 offset = 0;
-  u64 len = 0;
-};
-
 }  // namespace detail
 
 /// SPMD body: sorts the cluster-wide dataset whose share on this node is
@@ -194,7 +187,8 @@ ExtMultiwayReport ext_multiway_sort(net::NodeContext& ctx,
         seq::merge_runs_balanced<T, Less>(ctx.disk(), runs_file, runs,
                                           config.output,
                                           config.sequential.memory_records,
-                                          ctx, less),
+                                          ctx, less,
+                                          config.sequential.merge),
         runs.run_count() > 0 ? 1 : 0);
     if (!config.keep_intermediates) ctx.disk().remove(runs_file);
     span.end();
@@ -359,7 +353,7 @@ ExtMultiwayReport ext_multiway_sort(net::NodeContext& ctx,
   {
     const PhaseTimer phase(bc);
     obs::ScopedSpan span(tr, "multiway.phase4.merge", "multiway");
-    std::vector<detail::MergePiece> pieces;
+    std::vector<seq::MergePiece> pieces;
     for (u64 r = 0; r < runs.run_count(); ++r) {
       const u64 len = cuts[r][rank + 1] - cuts[r][rank];
       if (len > 0) pieces.push_back({runs_file, cuts[r][rank], len});
@@ -383,40 +377,17 @@ ExtMultiwayReport ext_multiway_sort(net::NodeContext& ctx,
       writer.flush();
       report.final_records = 0;
     } else if (pieces.size() <= fan_in) {
-      // The headline single pass: every piece gets its own reader (one
-      // block buffer each), one loser tree, straight to the output file.
-      std::vector<pdm::BlockFile> files;
-      std::vector<pdm::BlockReader<T>> readers;
-      std::vector<seq::RunCursor<T>> cursors;
-      files.reserve(pieces.size());
-      readers.reserve(pieces.size());
-      cursors.reserve(pieces.size());
-      for (const detail::MergePiece& piece : pieces) {
-        files.push_back(ctx.disk().open(piece.file));
-        readers.emplace_back(files.back());
-        readers.back().seek_record(piece.offset);
-        cursors.emplace_back(&readers.back(), piece.len);
-      }
-      std::vector<seq::RunCursor<T>*> sources;
-      sources.reserve(cursors.size());
-      for (auto& c : cursors) sources.push_back(&c);
-      seq::LoserTree<T, seq::RunCursor<T>, Less> tree(std::move(sources),
-                                                      less, &ctx);
+      // The headline single pass: one merge over all pieces straight to
+      // the output file (parallel engine per config.sequential.merge; one
+      // block buffer per piece either way).
       pdm::BlockFile out = ctx.disk().create(config.output);
       pdm::BlockWriter<T> writer(out);
-      u64 merged = 0;
-      if (ctx.disk().params().bulk_transfers) {
-        merged = tree.pop_run_into(writer);
-      } else {
-        while (const T* top = tree.peek()) {
-          writer.push(*top);
-          tree.pop_discard();
-          ++merged;
-        }
-      }
+      const seq::MergeResult r = seq::merge_pieces<T, Less>(
+          ctx.disk(), pieces, writer, ctx, less, config.sequential.merge);
       writer.flush();
-      ctx.on_moves(merged);
-      report.final_records = merged;
+      ctx.on_moves(r.merged);
+      if (r.tail_compares > 0) ctx.on_compares(r.tail_compares);
+      report.final_records = r.merged;
       report.merge_passes = 1;
     } else {
       // Degenerate memory budget (fan-in exceeds the block buffers M can
@@ -427,7 +398,7 @@ ExtMultiwayReport ext_multiway_sort(net::NodeContext& ctx,
       {
         pdm::BlockFile out = ctx.disk().create(cat);
         pdm::BlockWriter<T> writer(out);
-        for (const detail::MergePiece& piece : pieces) {
+        for (const seq::MergePiece& piece : pieces) {
           pdm::BlockFile f = ctx.disk().open(piece.file);
           pdm::BlockReader<T> reader(f);
           reader.seek_record(piece.offset);
@@ -443,7 +414,7 @@ ExtMultiwayReport ext_multiway_sort(net::NodeContext& ctx,
                                     ctx.disk(), cat, cat_layout,
                                     config.output,
                                     config.sequential.memory_records, ctx,
-                                    less);
+                                    less, config.sequential.merge);
       ctx.disk().remove(cat);
       report.final_records = ctx.disk().file_records<T>(config.output);
     }

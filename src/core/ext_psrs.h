@@ -288,7 +288,8 @@ ExtPsrsReport ext_psrs_sort(net::NodeContext& ctx,
     }
     report.final_records = merge_sorted_files<T, Less>(
         ctx.disk(), run_files, config.output,
-        config.sequential.memory_records, ctx, less);
+        config.sequential.memory_records, ctx, less,
+        config.sequential.merge);
     if (!config.keep_intermediates) {
       for (const std::string& f : run_files) ctx.disk().remove(f);
     }

@@ -13,12 +13,14 @@
 
 #include "base/contracts.h"
 #include "base/meter.h"
+#include "base/prefetch.h"
 #include "base/types.h"
 #include "net/communicator.h"
 #include "pdm/typed_io.h"
 #include "seq/cursors.h"
 #include "seq/kway_merge.h"
 #include "seq/loser_tree.h"
+#include "seq/parallel_merge.h"
 
 namespace paladin::core {
 
@@ -61,6 +63,17 @@ class NetworkRunSource {
   void advance() {
     PALADIN_EXPECTS(index_ < buffer_.size());
     ++index_;
+  }
+
+  /// Fused advance()+peek() (see pdm::BlockReader::advance_peek); the
+  /// chunk refill lands at the same point the separate sequence refills.
+  const T* advance_peek() {
+    PALADIN_EXPECTS(index_ < buffer_.size());
+    ++index_;
+    if (index_ < buffer_.size()) [[likely]] return &buffer_[index_];
+    if (exhausted_) return nullptr;
+    refill();
+    return exhausted_ ? nullptr : &buffer_[index_];
   }
 
   /// Records already in memory past the cursor (never refills).
@@ -106,6 +119,9 @@ class NetworkRunSource {
     comm_->pool().release(std::move(payload));
     index_ = 0;
     received_ += buffer_.size();
+    // Copying a whole chunk just evicted the head from L1; the tree reads
+    // it immediately after this refill.
+    base::prefetch_read(buffer_.data());
   }
 
   net::Communicator* comm_;
@@ -124,41 +140,25 @@ template <Record T, typename Less = std::less<T>>
 u64 merge_sorted_files(pdm::Disk& disk,
                        const std::vector<std::string>& run_files,
                        const std::string& output, u64 memory_records,
-                       Meter& meter, Less less = {}) {
+                       Meter& meter, Less less = {},
+                       const seq::MergeTuning& tuning = {}) {
   PALADIN_EXPECTS(!run_files.empty());
   const u64 fan_in = seq::max_fan_in<T>(disk, memory_records);
 
   if (run_files.size() <= fan_in) {
-    std::vector<pdm::BlockFile> files;
-    std::vector<pdm::BlockReader<T>> readers;
-    files.reserve(run_files.size());
-    readers.reserve(run_files.size());
-    std::vector<seq::RunCursor<T>> cursors;
-    cursors.reserve(run_files.size());
+    std::vector<seq::MergePiece> pieces;
+    pieces.reserve(run_files.size());
     for (const std::string& name : run_files) {
-      files.push_back(disk.open(name));
-      readers.emplace_back(files.back());
-      cursors.emplace_back(&readers.back(), readers.back().size_records());
+      pieces.push_back({name, 0, disk.file_records<T>(name)});
     }
-    std::vector<seq::RunCursor<T>*> sources;
-    for (auto& c : cursors) sources.push_back(&c);
-    seq::LoserTree<T, seq::RunCursor<T>, Less> tree(std::move(sources), less,
-                                                    &meter);
     pdm::BlockFile out_file = disk.create(output);
     pdm::BlockWriter<T> writer(out_file);
-    u64 merged = 0;
-    if (disk.params().bulk_transfers) {
-      merged = tree.pop_run_into(writer);
-    } else {
-      while (const T* top = tree.peek()) {
-        writer.push(*top);
-        tree.pop_discard();
-        ++merged;
-      }
-    }
+    const seq::MergeResult r =
+        seq::merge_pieces<T, Less>(disk, pieces, writer, meter, less, tuning);
     writer.flush();
-    meter.on_moves(merged);
-    return merged;
+    meter.on_moves(r.merged);
+    if (r.tail_compares > 0) meter.on_compares(r.tail_compares);
+    return r.merged;
   }
 
   // Degenerate memory budget: concatenate into a runs file and reuse the
@@ -178,7 +178,7 @@ u64 merge_sorted_files(pdm::Disk& disk,
     writer.flush();
   }
   seq::merge_runs_balanced<T, Less>(disk, runs_name, layout, output,
-                                    memory_records, meter, less);
+                                    memory_records, meter, less, tuning);
   disk.remove(runs_name);
   return layout.total_records;
 }

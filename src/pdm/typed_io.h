@@ -26,6 +26,7 @@
 
 #include "base/contracts.h"
 #include "base/math_util.h"
+#include "base/prefetch.h"
 #include "base/types.h"
 #include "pdm/disk.h"
 
@@ -252,6 +253,27 @@ class BlockReader {
     PALADIN_EXPECTS(!done());
     ensure_buffered();
     ++next_record_;
+    hint_next_block();
+  }
+
+  /// Fused advance()+peek() for the merge hot loop: consumes the current
+  /// record (a preceding peek() must have returned non-null, so the cursor
+  /// is inside the buffer) and returns the next, or nullptr at EOF.  One
+  /// bounds check on the buffer-interior path; any refill lands at exactly
+  /// the point the separate advance-then-peek sequence would refill.
+  const T* advance_peek() {
+    PALADIN_EXPECTS(next_record_ >= buffer_first_ &&
+                    next_record_ < buffer_first_ + buffer_.size());
+    ++next_record_;
+    const u64 off = next_record_ - buffer_first_;
+    if (off + kPrefetchTailRecords < buffer_.size()) [[likely]] {
+      return &buffer_[off];
+    }
+    hint_next_block();
+    if (off < buffer_.size()) return &buffer_[off];
+    if (done()) return nullptr;
+    ensure_buffered();
+    return &buffer_[next_record_ - buffer_first_];
   }
 
   /// Contiguous records available at the cursor without further transfers,
@@ -271,6 +293,7 @@ class BlockReader {
     PALADIN_EXPECTS(next_record_ >= buffer_first_ &&
                     next_record_ + n <= buffer_first_ + buffer_.size());
     next_record_ += n;
+    hint_next_block();
   }
 
   /// Repositions to absolute record index `idx` (0-based).  A subsequent
@@ -326,11 +349,26 @@ class BlockReader {
 
  private:
   static constexpr u64 kNoBlock = ~u64{0};
+  /// advance/advance_n issue a software prefetch of the read-ahead block's
+  /// head once the cursor is this close to the buffer end, so the first
+  /// touches after adoption don't stall on a cold line.
+  static constexpr u64 kPrefetchTailRecords = 8;
 
   struct Prefetch {
     std::vector<T> data;
     u64 got_bytes = 0;  ///< written by the worker, read after wait()
   };
+
+  /// Warm the head of the in-flight read-ahead block as the cursor nears
+  /// the end of the current one.  The worker may still be filling that
+  /// buffer — a prefetch is not a language-level access (base/prefetch.h),
+  /// so this is safe; the pointer itself is only written on this thread.
+  void hint_next_block() {
+    if (prefetch_ != nullptr &&
+        buffer_first_ + buffer_.size() - next_record_ <= kPrefetchTailRecords) {
+      base::prefetch_read(prefetch_->data.data());
+    }
+  }
 
   ByteCount block_bytes() const { return file_->disk().params().block_bytes; }
 

@@ -27,6 +27,13 @@ class MemCursor {
     ++index_;
   }
 
+  /// Fused advance()+peek() (see pdm::BlockReader::advance_peek).
+  const T* advance_peek() {
+    PALADIN_EXPECTS(index_ < data_.size());
+    ++index_;
+    return index_ < data_.size() ? &data_[index_] : nullptr;
+  }
+
   /// Records available at the cursor (no I/O involved — the whole tail).
   std::span<const T> buffered() const { return data_.subspan(index_); }
   void advance_n(u64 n) {
@@ -39,14 +46,17 @@ class MemCursor {
   std::size_t index_ = 0;
 };
 
-/// Cursor over the next `length` records of a BlockReader — one run on a
+/// Cursor over the next `length` records of a block reader — one run on a
 /// tape that holds several runs back to back.  Several RunCursors may share
-/// one reader sequentially (never concurrently).
-template <Record T>
+/// one reader sequentially (never concurrently).  The Reader parameter is
+/// anything with peek/advance/buffered/advance_n over records (the charged
+/// pdm::BlockReader by default; the parallel merge substitutes its
+/// uncharged worker-thread reader, seq/parallel_merge.h).
+template <Record T, typename Reader = pdm::BlockReader<T>>
 class RunCursor {
  public:
   RunCursor() = default;
-  RunCursor(pdm::BlockReader<T>* reader, u64 length)
+  RunCursor(Reader* reader, u64 length)
       : reader_(reader), remaining_(length) {}
 
   const T* peek() const {
@@ -57,6 +67,20 @@ class RunCursor {
     reader_->advance();
     --remaining_;
   }
+
+  /// Fused advance()+peek().  At the run boundary the shared reader still
+  /// advances past the run's last record (the next RunCursor picks up
+  /// there), exactly as the separate advance-then-peek sequence does.
+  const T* advance_peek() {
+    PALADIN_EXPECTS(remaining_ > 0);
+    --remaining_;
+    if (remaining_ == 0) {
+      reader_->advance();
+      return nullptr;
+    }
+    return reader_->advance_peek();
+  }
+
   u64 remaining() const { return remaining_; }
 
   /// The reader's buffered tail, clipped to this run's end.
@@ -72,7 +96,7 @@ class RunCursor {
   }
 
  private:
-  pdm::BlockReader<T>* reader_ = nullptr;
+  Reader* reader_ = nullptr;
   u64 remaining_ = 0;
 };
 
@@ -84,6 +108,7 @@ class FileCursor {
 
   const T* peek() { return reader_.peek(); }
   void advance() { reader_.advance(); }
+  const T* advance_peek() { return reader_.advance_peek(); }
   u64 size_records() const { return reader_.size_records(); }
 
   std::span<const T> buffered() { return reader_.buffered(); }

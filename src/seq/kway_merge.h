@@ -15,6 +15,7 @@
 #include "pdm/typed_io.h"
 #include "seq/cursors.h"
 #include "seq/loser_tree.h"
+#include "seq/parallel_merge.h"
 #include "seq/run_formation.h"
 
 namespace paladin::seq {
@@ -30,48 +31,32 @@ u64 max_fan_in(const pdm::Disk& disk, u64 memory_records) {
 
 /// Merges `count` runs laid out back-to-back in `runs_file` starting at
 /// run index `first` of `layout`, appending one combined run to `out`.
-/// Returns the merged length.
+/// Returns the merged length.  `tuning` selects the in-node merge engine
+/// (seq/parallel_merge.h); every setting produces bit-identical output and
+/// accounting.
 template <Record T, typename Less = std::less<T>>
 u64 merge_run_group(pdm::Disk& disk, const std::string& runs_file,
                     const RunLayout& layout, u64 first, u64 count,
-                    pdm::BlockWriter<T>& out, Meter& meter, Less less = {}) {
+                    pdm::BlockWriter<T>& out, Meter& meter, Less less = {},
+                    const MergeTuning& tuning = {}) {
   PALADIN_EXPECTS(first + count <= layout.run_count());
-  // Each run gets its own reader positioned at the run's start so the
-  // merge streams all group members concurrently, one block buffer each.
+  // Each run becomes one merge piece with its own reader (one block buffer
+  // each) so the merge streams all group members concurrently.
   u64 offset = 0;
   for (u64 i = 0; i < first; ++i) offset += layout.run_lengths[i];
 
-  std::vector<pdm::BlockFile> files;
-  std::vector<pdm::BlockReader<T>> readers;
-  std::vector<RunCursor<T>> cursors;
-  files.reserve(count);
-  readers.reserve(count);
-  cursors.reserve(count);
+  std::vector<MergePiece> pieces;
+  pieces.reserve(count);
   for (u64 i = 0; i < count; ++i) {
-    files.push_back(disk.open(runs_file));
-    readers.emplace_back(files.back());
-    readers.back().seek_record(offset);
-    cursors.emplace_back(&readers.back(), layout.run_lengths[first + i]);
+    pieces.push_back({runs_file, offset, layout.run_lengths[first + i]});
     offset += layout.run_lengths[first + i];
   }
 
-  std::vector<RunCursor<T>*> sources;
-  sources.reserve(count);
-  for (auto& c : cursors) sources.push_back(&c);
-  LoserTree<T, RunCursor<T>, Less> tree(std::move(sources), less, &meter);
-
-  u64 merged = 0;
-  if (disk.params().bulk_transfers) {
-    merged = tree.pop_run_into(out);
-  } else {
-    while (const T* top = tree.peek()) {
-      out.push(*top);
-      tree.pop_discard();
-      ++merged;
-    }
-  }
-  meter.on_moves(merged);
-  return merged;
+  const MergeResult r =
+      merge_pieces<T, Less>(disk, pieces, out, meter, less, tuning);
+  meter.on_moves(r.merged);
+  if (r.tail_compares > 0) meter.on_compares(r.tail_compares);
+  return r.merged;
 }
 
 /// Repeatedly merges groups of up to `fan_in` runs until a single run
@@ -81,7 +66,8 @@ u64 merge_run_group(pdm::Disk& disk, const std::string& runs_file,
 template <Record T, typename Less = std::less<T>>
 u64 merge_runs_balanced(pdm::Disk& disk, const std::string& runs_file,
                         RunLayout layout, const std::string& output,
-                        u64 memory_records, Meter& meter, Less less = {}) {
+                        u64 memory_records, Meter& meter, Less less = {},
+                        const MergeTuning& tuning = {}) {
   PALADIN_EXPECTS(runs_file != output);
   const u64 fan_in = max_fan_in<T>(disk, memory_records);
 
@@ -103,7 +89,7 @@ u64 merge_runs_balanced(pdm::Disk& disk, const std::string& runs_file,
     for (u64 first = 0; first < layout.run_count(); first += fan_in) {
       const u64 count = std::min(fan_in, layout.run_count() - first);
       const u64 merged = merge_run_group<T, Less>(
-          disk, current, layout, first, count, out, meter, less);
+          disk, current, layout, first, count, out, meter, less, tuning);
       next_layout.run_lengths.push_back(merged);
       next_layout.total_records += merged;
     }

@@ -3,16 +3,36 @@
 // ⌈log2 k⌉ comparisons; exhausted sources act as +∞ sentinels.  Ties break
 // by source index, which makes every merge stable with respect to source
 // order and, more importantly, deterministic.
+//
+// Engineering (see docs/ALGORITHM.md, "Merge kernel engineering"): each
+// internal node caches its loser's head record inline — a u64 radix-prefix
+// key (base/key_codec.h) plus the head pointer and source index — so a
+// replay is one contiguous-array walk of conditional-move updates instead
+// of two pointer chases and a branchy comparator call per level.  When the
+// encoded key fits 32 bits (u32/i32 and narrower — DefaultKey's case) the
+// node shrinks further to a single u64 packing (key << 32 | source index):
+// a replay level is then ONE unsigned compare — the index bits break ties
+// toward the lower source automatically — and the winner record is decoded
+// straight from the key, so the hot loop touches no record memory at all.
+// When the codec is not exact for (T, Less) the same walk runs with
+// comparator calls on the cached head pointers.  Comparison *counts* and
+// the points where sources are peeked/refilled are identical in all
+// modes, and identical to the classic two-pointer formulation, so metered
+// virtual time does not depend on which mode ran.
 #pragma once
 
 #include <algorithm>
+#include <bit>
+#include <concepts>
 #include <functional>
 #include <span>
 #include <vector>
 
 #include "base/contracts.h"
+#include "base/key_codec.h"
 #include "base/math_util.h"
 #include "base/meter.h"
+#include "base/prefetch.h"
 #include "base/types.h"
 
 namespace paladin::seq {
@@ -22,6 +42,30 @@ namespace paladin::seq {
 template <Record T, typename Source, typename Less = std::less<T>>
 class LoserTree {
  public:
+  /// The cached-key fast mode: sound exactly when the u64 image reproduces
+  /// the comparator's order *and* equality (a custom Less could order the
+  /// same bytes differently, so it must be std::less).
+  static constexpr bool kKeyCached =
+      base::KeyCodec<T>::kExact && std::is_same_v<Less, std::less<T>>;
+
+  /// The single-u64 node layout: exact codec whose image fits 32 bits.
+  static constexpr bool kPacked = kKeyCached && base::key_codec_packs32<T>();
+
+  /// Source exposes a buffered span plus bulk skip (the cursor family,
+  /// BlockReader, StripedReader, NetworkRunSource all do).
+  static constexpr bool kSpanSources = requires(Source s) {
+    { s.buffered() } -> std::convertible_to<std::span<const T>>;
+    s.advance_n(u64{});
+  };
+
+  /// Leaf span cache: each live leaf holds direct pos/end pointers into its
+  /// source's buffered records, and the source is advanced lazily — one
+  /// advance_n per drained span rather than one virtual hop chain per
+  /// record.  Refills land at the same logical record (the first touch past
+  /// the buffered stretch) as the per-record advance-then-peek sequence, so
+  /// IoStats, charge points and comparison counts are unchanged.
+  static constexpr bool kLeafCached = kPacked && kSpanSources;
+
   /// Sources are referenced, not owned; they must outlive the tree.
   explicit LoserTree(std::vector<Source*> sources, Less less = {},
                      Meter* meter = nullptr)
@@ -31,8 +75,18 @@ class LoserTree {
     // exhausted pseudo-sources.
     k_ = 1;
     while (k_ < sources_.size()) k_ *= 2;
-    tree_.assign(k_, kNone);
-    winner_ = build(1);
+    if constexpr (kPacked) {
+      depth_ = static_cast<u32>(std::bit_width(k_) - 1);
+      if constexpr (kLeafCached) leaves_.assign(sources_.size(), LeafSpan{});
+      packed_.assign(k_, kExhausted);
+      set_winner_packed(build_packed(1));
+    } else {
+      nodes_.assign(k_, Node{});
+      const Node w = build(1);
+      winner_ = w.idx;
+      cur_head_ = w.head;
+      cur_key_ = w.key;
+    }
     flush_meter();
   }
 
@@ -47,28 +101,23 @@ class LoserTree {
   ~LoserTree() { flush_meter(); }
 
   /// Current minimum across all sources, nullptr when all are exhausted.
-  const T* peek() {
-    return winner_ < sources_.size() ? sources_[winner_]->peek() : nullptr;
-  }
+  const T* peek() const { return cur_head_; }
 
   /// Index of the source holding the current minimum.
   std::size_t winner_index() const { return winner_; }
 
   /// Removes and returns the minimum.  Precondition: peek() != nullptr.
   T pop() {
-    const T* top = peek();
-    PALADIN_EXPECTS(top != nullptr);
-    T out = *top;
-    sources_[winner_]->advance();
-    replay(winner_);
+    PALADIN_EXPECTS(cur_head_ != nullptr);
+    T out = *cur_head_;
+    advance_update(winner_);
     return out;
   }
 
   /// Consumes the minimum without copying it (caller already used peek()).
   void pop_discard() {
-    PALADIN_EXPECTS(peek() != nullptr);
-    sources_[winner_]->advance();
-    replay(winner_);
+    PALADIN_EXPECTS(cur_head_ != nullptr);
+    advance_update(winner_);
   }
 
   /// Bulk drain: emits up to `limit` records into `sink` (anything with
@@ -91,46 +140,101 @@ class LoserTree {
     // meter: a length-1 batch charges exactly the comparisons of a plain
     // pop (probes are uncounted, synthetic term is zero).
     u32 ones_streak = 0;
-    while (emitted < limit && peek() != nullptr) {
+    while (emitted < limit && cur_head_ != nullptr) {
       if (ones_streak >= kGallopRetry) {
-        u64 todo = std::min<u64>(kFallbackStretch, limit - emitted);
-        while (todo > 0) {
-          const T* top = peek();
-          if (top == nullptr) break;
-          sink.push(*top);
-          sources_[winner_]->advance();
-          replay(winner_);
-          ++emitted;
-          --todo;
+        const u64 todo = std::min<u64>(kFallbackStretch, limit - emitted);
+        if constexpr (kPacked) {
+          // Stage the stretch locally (records are <= 4 bytes in packed
+          // mode) and hand it over in one push_span: the sink sees the
+          // same records crossing the same block boundaries, and block
+          // costs are uniform per the parallel-merge design contract, so
+          // IoStats and the virtual clock are unchanged — only the
+          // per-record push call and its buffer bookkeeping disappear.
+          T staged[kFallbackStretch];
+          u64 n = 0;
+          while (n < todo && cur_head_ != nullptr) {
+            staged[n++] = cur_rec_;
+            advance_update(winner_);
+          }
+          sink.push_span(std::span<const T>(staged, n));
+          emitted += n;
+        } else {
+          u64 left = todo;
+          while (left > 0 && cur_head_ != nullptr) {
+            sink.push(*cur_head_);
+            advance_update(winner_);
+            ++emitted;
+            --left;
+          }
         }
         ones_streak = 0;
         continue;
       }
-      Source& src = *sources_[winner_];
-      const std::span<const T> tail = src.buffered();
+      std::span<const T> tail;
+      if constexpr (kLeafCached) {
+        const LeafSpan& ls = leaves_[winner_];
+        tail = {ls.pos, static_cast<std::size_t>(ls.end - ls.pos)};
+      } else {
+        tail = sources_[winner_]->buffered();
+      }
       PALADIN_ASSERT(!tail.empty());
       u64 n = std::min<u64>(tail.size(), limit - emitted);
       u64 live_losers = 0;
       for (std::size_t node = (k_ + winner_) / 2; node >= 1; node /= 2) {
-        const std::size_t loser = tree_[node];
-        if (loser == kNone) continue;
-        const T* head = peek_source(loser);
-        if (head == nullptr) continue;
-        ++live_losers;
         // Records the winner emits before `loser` takes over: strictly
         // smaller ones when the loser precedes the winner (the loser would
         // win ties), smaller-or-equal when the winner precedes the loser.
-        if (loser < winner_) {
-          n = gallop(n, [&](u64 j) { return less_(tail[j], *head); });
+        if constexpr (kPacked) {
+          const u64 nd = packed_[node];
+          if (nd == kExhausted) continue;
+          ++live_losers;
+          const u64 loser_key = nd >> 32;
+          if ((nd & 0xffffffffu) < winner_) {
+            n = gallop(n, [&](u64 j) {
+              return base::KeyCodec<T>::encode(tail[j]) < loser_key;
+            });
+          } else {
+            n = gallop(n, [&](u64 j) {
+              return base::KeyCodec<T>::encode(tail[j]) <= loser_key;
+            });
+          }
         } else {
-          n = gallop(n, [&](u64 j) { return !less_(*head, tail[j]); });
+          const Node& nd = nodes_[node];
+          if (nd.head == nullptr) continue;
+          ++live_losers;
+          if constexpr (kKeyCached) {
+            const u64 loser_key = nd.key;
+            if (nd.idx < winner_) {
+              n = gallop(n, [&](u64 j) {
+                return base::KeyCodec<T>::encode(tail[j]) < loser_key;
+              });
+            } else {
+              n = gallop(n, [&](u64 j) {
+                return base::KeyCodec<T>::encode(tail[j]) <= loser_key;
+              });
+            }
+          } else {
+            const T* head = nd.head;
+            if (nd.idx < winner_) {
+              n = gallop(n, [&](u64 j) { return less_(tail[j], *head); });
+            } else {
+              n = gallop(n, [&](u64 j) { return !less_(*head, tail[j]); });
+            }
+          }
         }
       }
       PALADIN_ASSERT(n >= 1);  // the current winner beats every path loser
       sink.push_span(tail.first(n));
-      src.advance_n(n);
       compares_ += (n - 1) * live_losers;  // the skipped no-change replays
-      replay(winner_);
+      if constexpr (kLeafCached) {
+        LeafSpan& ls = leaves_[winner_];
+        ls.pos += n;
+        apply_head(winner_,
+                   ls.pos != ls.end ? ls.pos : resync_span(winner_));
+      } else {
+        sources_[winner_]->advance_n(n);
+        update(winner_);
+      }
       emitted += n;
       ones_streak = n == 1 ? ones_streak + 1 : 0;
     }
@@ -139,42 +243,68 @@ class LoserTree {
 
   u64 comparisons() const { return compares_; }
 
+  /// Comparisons counted but not yet delivered to the meter; marks them
+  /// reported.  Lets a caller that replays this tree's accounting (the
+  /// parallel merge) emit the tail batch at the exact point the destructor
+  /// otherwise would.
+  u64 take_unreported() {
+    const u64 pending = compares_ - reported_;
+    reported_ = compares_;
+    return pending;
+  }
+
  private:
-  static constexpr std::size_t kNone = ~std::size_t{0};
   /// pop_run_into: consecutive single-record batches before switching to
   /// plain pops, and how many plain pops to do before probing again.
   static constexpr u32 kGallopRetry = 1;
   static constexpr u64 kFallbackStretch = 256;
 
-  const T* peek_source(std::size_t s) {
-    return s < sources_.size() ? sources_[s]->peek() : nullptr;
-  }
+  /// Loser cached at an internal node.  head == nullptr means the subtree
+  /// loser is exhausted (or a padded pseudo-source); key/idx are then
+  /// meaningless.  In comparator mode `key` is always 0.
+  struct Node {
+    u64 key = 0;
+    const T* head = nullptr;
+    u32 idx = 0;
+  };
 
-  /// true when source a's head sorts strictly before source b's head
-  /// (exhausted == +∞; ties by index for stability).
-  bool source_less(std::size_t a, std::size_t b) {
-    const T* pa = peek_source(a);
-    const T* pb = peek_source(b);
-    if (pa == nullptr) return false;
-    if (pb == nullptr) return true;
-    ++compares_;
-    // One comparison resolves order-with-stable-ties: when a precedes b,
-    // a also wins ties, so a wins iff !(*pb < *pa); symmetrically otherwise.
-    return a < b ? !less_(*pb, *pa) : less_(*pa, *pb);
-  }
-
-  /// Builds the tree below internal node `node`; returns the winner
-  /// (source index) of that subtree and records losers on the path.
-  std::size_t build(std::size_t node) {
-    if (node >= k_) return node - k_;  // leaf → source index (maybe padded)
-    const std::size_t l = build(2 * node);
-    const std::size_t r = build(2 * node + 1);
-    if (source_less(l, r)) {
-      tree_[node] = r;
-      return l;
+  static Node make_node(const T* head, std::size_t idx) {
+    Node n;
+    n.head = head;
+    n.idx = static_cast<u32>(idx);
+    if constexpr (kKeyCached) {
+      if (head != nullptr) n.key = base::KeyCodec<T>::encode(*head);
     }
-    tree_[node] = l;
-    return r;
+    return n;
+  }
+
+  /// Builds the tree below internal node `node`; returns the winner of
+  /// that subtree and caches losers on the path.  The left subtree holds
+  /// strictly lower source indices than the right, so ties resolve to the
+  /// left — one comparison per pair, exactly as the classic source_less.
+  Node build(std::size_t node) {
+    if (node >= k_) {
+      const std::size_t idx = node - k_;  // leaf → source (maybe padded)
+      const T* head = idx < sources_.size() ? sources_[idx]->peek() : nullptr;
+      return make_node(head, idx);
+    }
+    const Node l = build(2 * node);
+    const Node r = build(2 * node + 1);
+    bool l_wins;
+    if (l.head == nullptr) {
+      l_wins = false;
+    } else if (r.head == nullptr) {
+      l_wins = true;
+    } else {
+      ++compares_;
+      if constexpr (kKeyCached) {
+        l_wins = l.key <= r.key;  // left index is lower: left wins ties
+      } else {
+        l_wins = !less_(*r.head, *l.head);
+      }
+    }
+    nodes_[node] = l_wins ? r : l;
+    return l_wins ? l : r;
   }
 
   /// Exponential search: the count (<= bound) of leading tail records for
@@ -203,15 +333,222 @@ class LoserTree {
     return lo;
   }
 
-  /// After the winner's source advanced, replays its path to the root.
-  void replay(std::size_t source) {
-    std::size_t cur = source;
+  // --- packed mode -----------------------------------------------------
+  /// Exhausted sources (and padded leaves) are +∞: all-ones sorts after
+  /// every live packing, whose index bits stay below 2^32−1.
+  static constexpr u64 kExhausted = ~u64{0};
+
+  u64 leaf_packed(std::size_t idx) {
+    if (idx >= sources_.size()) {
+      ++exhausted_leaves_;  // padded pseudo-source
+      return kExhausted;
+    }
+    const T* head;
+    if constexpr (kLeafCached) {
+      head = acquire_span(idx);
+    } else {
+      head = sources_[idx]->peek();
+    }
+    if (head == nullptr) {
+      ++exhausted_leaves_;  // empty from the start
+      return kExhausted;
+    }
+    return (base::KeyCodec<T>::encode(*head) << 32) | static_cast<u64>(idx);
+  }
+
+  /// (Re)caches `idx`'s buffered span and returns its first record, or
+  /// nullptr when the source is exhausted.  Some sources (the network
+  /// stream) only refill inside peek(), so an empty span falls back to one
+  /// peek — the same call, at the same record, the classic path makes.
+  const T* acquire_span(std::size_t idx)
+    requires kLeafCached
+  {
+    Source& src = *sources_[idx];
+    std::span<const T> s = src.buffered();
+    if (s.empty()) {
+      if (src.peek() == nullptr) {
+        leaves_[idx] = LeafSpan{};
+        return nullptr;
+      }
+      s = src.buffered();
+      PALADIN_ASSERT(!s.empty());
+    }
+    leaves_[idx] = {s.data(), s.data(), s.data() + s.size()};
+    return s.data();
+  }
+
+  /// Span drained: reports the consumed records to the cursor in one
+  /// advance_n and acquires the next stretch.
+  const T* resync_span(std::size_t idx)
+    requires kLeafCached
+  {
+    LeafSpan& ls = leaves_[idx];
+    sources_[idx]->advance_n(static_cast<u64>(ls.end - ls.begin));
+    return acquire_span(idx);
+  }
+
+  /// Builds the packed tree below `node`; returns the subtree winner.
+  /// min/max on the packings implement contest-with-stable-ties outright:
+  /// the left subtree holds the lower source indices, and for equal keys
+  /// the lower index bits make the left packing smaller.
+  u64 build_packed(std::size_t node) {
+    if (node >= k_) return leaf_packed(node - k_);
+    const u64 l = build_packed(2 * node);
+    const u64 r = build_packed(2 * node + 1);
+    compares_ += static_cast<u64>(l != kExhausted && r != kExhausted);
+    const bool l_wins = l <= r;
+    packed_[node] = l_wins ? r : l;
+    return l_wins ? l : r;
+  }
+
+  /// Installs the overall winner: the record is decoded from the key
+  /// (bit-identical — the codec is exact and invertible), so peek() serves
+  /// it from the tree without touching the source's buffer again.
+  void set_winner_packed(u64 w) {
+    cur_packed_ = w;
+    winner_ = static_cast<std::size_t>(w & 0xffffffffu);
+    if (w != kExhausted) {
+      cur_rec_ = base::KeyCodec<T>::decode(w >> 32);
+      cur_head_ = &cur_rec_;
+    } else {
+      cur_head_ = nullptr;
+    }
+  }
+
+  /// True when Source offers the fused advance_peek() (BlockReader and the
+  /// cursor family do); other sources fall back to advance-then-peek.
+  static constexpr bool kFusedAdvance = requires(Source s) {
+    { s.advance_peek() } -> std::same_as<const T*>;
+  };
+
+  /// Consumes `source`'s head and replays with its successor.  The fused
+  /// call reaches the same record, and lands any refill at the same
+  /// logical point, as the advance-then-peek sequence it replaces.
+  void advance_update(std::size_t source) {
+    if constexpr (kLeafCached) {
+      LeafSpan& ls = leaves_[source];
+      const T* p = ls.pos + 1;
+      if (p != ls.end) [[likely]] {
+        ls.pos = p;
+        apply_head(source, p);
+      } else {
+        apply_head(source, resync_span(source));
+      }
+      return;
+    }
+    const T* head;
+    if constexpr (kFusedAdvance) {
+      head = sources_[source]->advance_peek();
+    } else {
+      sources_[source]->advance();
+      head = sources_[source]->peek();
+    }
+    apply_head(source, head);
+  }
+
+  /// Re-peeks `source` (landing any refill at exactly the point the
+  /// classic formulation would) and replays its root path.
+  void update(std::size_t source) {
+    apply_head(source, sources_[source]->peek());
+  }
+
+  /// Replays `source`'s root path given its (possibly null) new head.
+  void apply_head(std::size_t source, const T* head) {
+    if constexpr (kPacked) {
+      u64 c = kExhausted;
+      if (head != nullptr) {
+        // The very next record of this source is touched by the following
+        // pop/gallop; start pulling its line now.
+        base::prefetch_read(head + 1);
+        c = (base::KeyCodec<T>::encode(*head) << 32) |
+            static_cast<u64>(source);
+        if (exhausted_leaves_ == 0) {
+          // Every contender on the path is live, so each level counts one
+          // comparison — settle the whole path up front (root paths all
+          // have depth log2(k) in the padded tree) and run the replay with
+          // no per-level liveness tests.
+          compares_ += depth_;
+          for (std::size_t node = (k_ + source) / 2; node >= 1; node /= 2) {
+            const u64 nd = packed_[node];
+            const bool take = nd < c;
+            packed_[node] = take ? c : nd;
+            c = take ? nd : c;
+          }
+          set_winner_packed(c);
+          return;
+        }
+      } else {
+        // Sources never revive, so this is the leaf's single transition.
+        ++exhausted_leaves_;
+      }
+      // One compare and two conditional moves per level; ties and
+      // exhaustion need no cases of their own.
+      for (std::size_t node = (k_ + source) / 2; node >= 1; node /= 2) {
+        const u64 nd = packed_[node];
+        compares_ += static_cast<u64>(nd != kExhausted && c != kExhausted);
+        const bool take = nd < c;
+        packed_[node] = take ? c : nd;
+        c = take ? nd : c;
+      }
+      set_winner_packed(c);
+    } else {
+      if (head != nullptr) base::prefetch_read(head + 1);
+      replay(source, head);
+    }
+  }
+
+  /// Replays the path from `source` (current head `head`) to the root.
+  /// One comparison is counted per level where both contenders are live —
+  /// the same count, in the same order, as the classic source_less walk.
+  void replay(std::size_t source, const T* head) {
+    u32 cur_idx = static_cast<u32>(source);
+    const T* cur_head = head;
+    u64 cur_key = 0;
+    if constexpr (kKeyCached) {
+      if (head != nullptr) cur_key = base::KeyCodec<T>::encode(*head);
+    }
     for (std::size_t node = (k_ + source) / 2; node >= 1; node /= 2) {
-      if (tree_[node] != kNone && source_less(tree_[node], cur)) {
-        std::swap(cur, tree_[node]);
+      Node& nd = nodes_[node];
+      if constexpr (kKeyCached) {
+        const bool n_live = nd.head != nullptr;
+        const bool c_live = cur_head != nullptr;
+        compares_ += static_cast<u64>(n_live && c_live);
+        // The node's cached loser takes over when it sorts strictly before
+        // the carried contender, or ties with a lower source index.
+        const bool take =
+            n_live && (!c_live || nd.key < cur_key ||
+                       (nd.key == cur_key && nd.idx < cur_idx));
+        const u64 nk = nd.key;
+        const T* nh = nd.head;
+        const u32 ni = nd.idx;
+        nd.key = take ? cur_key : nk;
+        nd.head = take ? cur_head : nh;
+        nd.idx = take ? cur_idx : ni;
+        cur_key = take ? nk : cur_key;
+        cur_head = take ? nh : cur_head;
+        cur_idx = take ? ni : cur_idx;
+      } else {
+        if (nd.head == nullptr) continue;
+        bool take;
+        if (cur_head == nullptr) {
+          take = true;
+        } else {
+          ++compares_;
+          // One comparison resolves order-with-stable-ties: when the node's
+          // loser precedes the contender it also wins ties, so it takes
+          // over iff !(cur < node); symmetrically otherwise.
+          take = nd.idx < cur_idx ? !less_(*cur_head, *nd.head)
+                                  : less_(*nd.head, *cur_head);
+        }
+        if (take) {
+          std::swap(cur_head, nd.head);
+          std::swap(cur_idx, nd.idx);
+        }
       }
     }
-    winner_ = cur;
+    winner_ = cur_idx;
+    cur_head_ = cur_head;
+    cur_key_ = cur_key;
   }
 
   void flush_meter() {
@@ -225,8 +562,25 @@ class LoserTree {
   Less less_;
   Meter* meter_;
   std::size_t k_ = 0;
-  std::vector<std::size_t> tree_;  ///< loser at each internal node
-  std::size_t winner_ = kNone;
+  std::vector<Node> nodes_;  ///< cached loser at each internal node
+  std::vector<u64> packed_;  ///< single-u64 nodes (kPacked mode only)
+  std::size_t winner_ = 0;
+  const T* cur_head_ = nullptr;  ///< cached head of the current winner
+  u64 cur_key_ = 0;              ///< its encoded key (kKeyCached only)
+  u64 cur_packed_ = kExhausted;  ///< the winner's packing (kPacked only)
+  T cur_rec_{};                  ///< decoded winner record (kPacked only)
+  u32 depth_ = 0;             ///< root-path length log2(k_) (kPacked only)
+  u32 exhausted_leaves_ = 0;  ///< padded + dried-up leaves (kPacked only)
+
+  /// Cached buffered stretch of one source (kLeafCached).  `pos` is the
+  /// source's current head; records in [begin, pos) are consumed but not
+  /// yet reported to the cursor; pos == nullptr marks exhaustion.
+  struct LeafSpan {
+    const T* begin = nullptr;
+    const T* pos = nullptr;
+    const T* end = nullptr;
+  };
+  std::vector<LeafSpan> leaves_;  ///< indexed by source (kLeafCached only)
   u64 compares_ = 0;
   u64 reported_ = 0;
 };

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Gate merge-kernel wall-clock against the committed baseline.
+
+Usage: check_perf_regression.py NEW_JSON BASELINE_JSON [--threshold=0.20]
+
+Compares the merge rows (kernel name containing "merge") of a freshly
+generated bench_results/BENCH_hotpaths.json against the committed baseline
+and exits nonzero when any row regressed by more than the threshold
+(default +20% ns/record).  Rows present on only one side are reported but
+never fail the gate (new kernels appear, retired ones vanish), and older
+baselines without the compares_per_record field are accepted.
+"""
+
+import json
+import sys
+
+
+def load_rows(path):
+    with open(path) as f:
+        doc = json.load(f)
+    rows = {}
+    for row in doc.get("rows", []):
+        rows[(row["kernel"], row["mode"])] = row
+    return rows
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    threshold = 0.20
+    for a in argv[1:]:
+        if a.startswith("--threshold="):
+            threshold = float(a.split("=", 1)[1])
+    if len(args) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    new_rows = load_rows(args[0])
+    base_rows = load_rows(args[1])
+
+    failures = []
+    compared = 0
+    for key, base in sorted(base_rows.items()):
+        kernel, mode = key
+        if "merge" not in kernel:
+            continue
+        new = new_rows.get(key)
+        if new is None:
+            print(f"note: {kernel}/{mode} missing from new results; skipped")
+            continue
+        compared += 1
+        old_ns = base["ns_per_record"]
+        new_ns = new["ns_per_record"]
+        ratio = new_ns / old_ns if old_ns > 0 else float("inf")
+        status = "ok"
+        if ratio > 1.0 + threshold:
+            status = "REGRESSION"
+            failures.append(key)
+        print(f"{status:>10}  {kernel:<18} {mode:<10} "
+              f"{old_ns:8.2f} -> {new_ns:8.2f} ns/rec ({ratio - 1.0:+.1%})")
+        # Metered work is deterministic: a compare-count drift is a logic
+        # change, not noise, so flag it when both sides carry the field.
+        if "compares_per_record" in base and "compares_per_record" in new:
+            if abs(base["compares_per_record"] -
+                   new["compares_per_record"]) > 1e-9:
+                print(f"            compare count drift: "
+                      f"{base['compares_per_record']} -> "
+                      f"{new['compares_per_record']}")
+                failures.append(key)
+
+    for key in sorted(set(new_rows) - set(base_rows)):
+        if "merge" in key[0]:
+            print(f"note: new row {key[0]}/{key[1]} has no baseline; skipped")
+
+    if compared == 0:
+        print("error: no merge rows in common — wrong files?", file=sys.stderr)
+        return 2
+    if failures:
+        print(f"\nFAIL: {len(set(failures))} merge row(s) regressed more "
+              f"than {threshold:.0%} vs the committed baseline")
+        return 1
+    print(f"\nOK: {compared} merge rows within {threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
