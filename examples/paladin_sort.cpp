@@ -41,6 +41,7 @@ struct Options {
   std::vector<u32> perf = {1, 1, 1, 1};
   core::ParallelSortAlgorithm algorithm =
       core::ParallelSortAlgorithm::kExtPsrs;
+  core::SplitterStrategy splitter = core::SplitterStrategy::kAuto;
   u64 memory_records = u64{1} << 20;
   u64 message_records = 8192;
   std::string net = "fast-ethernet";
@@ -53,6 +54,9 @@ struct Options {
         << "paladin_sort --input FILE [--output FILE] [--perf a,b,c,...]\n"
            "             [--algorithm NAME]  (one of: "
         << core::algorithm_names()
+        << ")\n"
+           "             [--splitter NAME]  (one of: "
+        << core::splitter_strategy_names()
         << ")\n"
            "             [--memory RECORDS] [--message RECORDS]\n"
            "             [--net fast-ethernet|myrinet|infinite]\n"
@@ -95,6 +99,14 @@ struct Options {
           std::exit(2);
         }
         opt.algorithm = *algo;
+      } else if (arg == "--splitter") {
+        const std::string name = need_value(i);
+        if (!core::try_parse_splitter_strategy(name, opt.splitter)) {
+          std::cerr << "unknown splitter strategy '" << name
+                    << "'; valid: " << core::splitter_strategy_names()
+                    << "\n";
+          std::exit(2);
+        }
       } else if (arg == "--memory") {
         opt.memory_records = std::stoull(need_value(i));
       } else if (arg == "--message") {
@@ -208,6 +220,7 @@ int main(int argc, char** argv) {
 
   core::ParallelSortConfig psc;
   psc.algorithm = opt.algorithm;
+  psc.splitter.strategy = opt.splitter;
   psc.sequential.memory_records = opt.memory_records;
   psc.sequential.allow_in_memory = false;
   psc.message_records = opt.message_records;

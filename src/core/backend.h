@@ -30,6 +30,7 @@
 #include "base/meter.h"
 #include "base/types.h"
 #include "core/scatter_gather.h"
+#include "core/splitter_tree.h"
 #include "hetero/perf_vector.h"
 #include "net/cluster.h"
 #include "obs/trace.h"
@@ -56,6 +57,11 @@ struct BackendConfig {
   /// Keep intermediate files (for inspection) instead of deleting them as
   /// soon as they are consumed.
   bool keep_intermediates = false;
+  /// How splitters are selected (flat designated-node sort vs the
+  /// multi-level sample tree of core/splitter_tree.h); shared by all four
+  /// backends.  The default auto heuristic keeps the paper-scale runs on
+  /// the exact flat path.
+  SplitterConfig splitter;
 };
 
 /// How a backend lays out its result across the cluster.
@@ -174,6 +180,11 @@ std::vector<T> select_sample_splitters(const BackendContext& bc,
                                        const hetero::PerfVector* perf,
                                        bool unique_splitters = false,
                                        u32 root = 0, Less less = {}) {
+  if (cuts > 0 && splitter_uses_tree(bc.common().splitter, bc.p())) {
+    return tree_select_sample_splitters<T, Less>(
+        bc.node(), bc.common().splitter, std::move(local_sample), cuts, perf,
+        unique_splitters, root, less);
+  }
   net::Communicator& comm = bc.comm();
   std::vector<T> splitters;
   std::vector<T> gathered =

@@ -175,6 +175,10 @@ struct ExactPsrsReport {
   u64 final_records = 0;
   u64 bisection_rounds = 0;
   double t_total = 0.0;
+  /// The splitter-selection phase alone (the bisection rounds), virtual
+  /// seconds — comparable to InCorePsrsReport::t_select for the
+  /// flat/tree/exact ablation.
+  double t_select = 0.0;
 };
 
 /// In-core heterogeneous sort with exact splitters: phases 1/4/5 of PSRS,
@@ -197,9 +201,11 @@ std::vector<T> psrs_exact_incore_sort(net::NodeContext& ctx,
 
   seq::metered_sort(std::span<T>(local), ctx);
 
+  const double t_select0 = ctx.clock().now();
   const std::vector<u64> targets = exact_target_ranks(perf, n);
   const ExactSplitResult split = exact_cuts<T>(
       ctx, std::span<const T>(local), std::span<const u64>(targets));
+  const double t_select1 = ctx.clock().now();
 
   std::vector<std::vector<T>> outgoing(p);
   for (u32 j = 0; j < p; ++j) {
@@ -229,6 +235,7 @@ std::vector<T> psrs_exact_incore_sort(net::NodeContext& ctx,
     report->final_records = merged.size();
     report->bisection_rounds = split.rounds;
     report->t_total = ctx.clock().now() - t0;
+    report->t_select = t_select1 - t_select0;
   }
   return merged;
 }

@@ -67,6 +67,9 @@ ExtDistributionReport ext_distribution_sort(
   const u64 want = std::min<u64>(
       report.local_records,
       static_cast<u64>(config.oversample) * p * perf[rank]);
+  // At large p, BackendConfig::splitter can route this through the
+  // multi-level sample tree (core/splitter_tree.h) instead of the flat
+  // gather-and-sort at node 0.
   std::vector<T> pivots = select_sample_splitters<T, Less>(
       bc, draw_random_sample<T>(ctx, config.input, want), p - 1, &perf,
       /*unique_splitters=*/false, /*root=*/0, less);

@@ -65,7 +65,9 @@ struct ExtMultiwayOptions {
   u32 designated_node = 0;
   /// Deduplicate the sorted sample before cutting (Axtmann–Sanders robust
   /// splitter selection).  Keeps heavy duplicate mass from collapsing
-  /// several splitters onto one key; see select_sample_splitters.
+  /// several splitters onto one key; see select_sample_splitters.  On the
+  /// tree path (BackendConfig::splitter) the dedup runs per level in
+  /// unique-value space — core/splitter_tree.h's merge_equal mode.
   bool unique_splitters = true;
   /// Per-pair credit window during the run-piece exchange.
   u64 flow_window_chunks = kDefaultFlowWindow;

@@ -74,6 +74,9 @@ ExtOverpartitionReport ext_overpartition_sort(
   const u64 want = std::min<u64>(
       report.local_records,
       static_cast<u64>(config.s) * config.oversample);
+  // Selection strategy (flat vs the core/splitter_tree.h tree) comes from
+  // BackendConfig::splitter; with s·p buckets the sample volume here grows
+  // even faster with p than PSRS Step 2, so the tree pays off sooner.
   std::vector<T> pivots = select_sample_splitters<T, Less>(
       bc, draw_random_sample<T>(ctx, config.input, want), buckets - 1,
       /*perf=*/nullptr, /*unique_splitters=*/false, /*root=*/0, less);

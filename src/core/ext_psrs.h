@@ -158,26 +158,44 @@ ExtPsrsReport ext_psrs_sort(net::NodeContext& ctx,
   std::vector<T> pivots;
   {
     obs::ScopedSpan span(tr, "psrs.step2.sampling", "psrs");
-    const u64 off = perf.sample_stride(n, config.sampling_oversample);
-    std::vector<T> samples;
-    {
-      pdm::BlockFile f = ctx.disk().open(sorted_local);
-      pdm::BlockReader<T> reader(f);
-      samples = draw_regular_sample<T>(reader, off);
-    }
-    PALADIN_ASSERT(samples.size() ==
-                   perf.sample_count(rank, n, config.sampling_oversample));
-    report.samples_contributed = samples.size();
+    if (splitter_uses_tree(config.splitter, p)) {
+      // Multi-level path (core/splitter_tree.h): densified leaf sample,
+      // group-tree digest reduction, flat pivot formulas at the root.
+      const u64 o_total =
+          config.sampling_oversample * config.splitter.tree_oversample;
+      const u64 off = perf.sample_stride_clamped(n, o_total);
+      std::vector<T> samples;
+      {
+        pdm::BlockFile f = ctx.disk().open(sorted_local);
+        pdm::BlockReader<T> reader(f);
+        samples = draw_regular_sample<T>(reader, off);
+      }
+      report.samples_contributed = samples.size();
+      pivots = tree_select_pivots<T, Less>(ctx, perf, std::move(samples),
+                                           o_total, config.splitter,
+                                           config.designated_node, less);
+    } else {
+      const u64 off = perf.sample_stride(n, config.sampling_oversample);
+      std::vector<T> samples;
+      {
+        pdm::BlockFile f = ctx.disk().open(sorted_local);
+        pdm::BlockReader<T> reader(f);
+        samples = draw_regular_sample<T>(reader, off);
+      }
+      PALADIN_ASSERT(samples.size() ==
+                     perf.sample_count(rank, n, config.sampling_oversample));
+      report.samples_contributed = samples.size();
 
-    std::vector<T> gathered = comm.template gather_records<T>(
-        std::span<const T>(samples), config.designated_node);
-    if (rank == config.designated_node) {
-      pivots = select_pivots<T, Less>(gathered, perf, ctx, less,
-                                      config.sampling_oversample);
+      std::vector<T> gathered = comm.template gather_records<T>(
+          std::span<const T>(samples), config.designated_node);
+      if (rank == config.designated_node) {
+        pivots = select_pivots<T, Less>(gathered, perf, ctx, less,
+                                        config.sampling_oversample);
+      }
+      pivots = comm.template bcast_records<T>(std::move(pivots),
+                                              config.designated_node);
+      PALADIN_ASSERT(pivots.size() == p - 1);
     }
-    pivots = comm.template bcast_records<T>(std::move(pivots),
-                                            config.designated_node);
-    PALADIN_ASSERT(pivots.size() == p - 1);
   }
   report.t_sampling = ctx.clock().now() - t1;
   report.io_sampling = ctx.disk().stats().total_block_ios() - io1;

@@ -12,6 +12,7 @@
 #include "base/types.h"
 #include "core/partition_file.h"
 #include "core/sampling.h"
+#include "core/splitter_tree.h"
 #include "hetero/perf_vector.h"
 #include "net/cluster.h"
 #include "seq/counting.h"
@@ -24,17 +25,22 @@ struct InCorePsrsReport {
   u64 local_records = 0;
   u64 final_records = 0;
   double t_total = 0.0;
+  /// Phase 2 alone (sampling + splitter selection), virtual seconds — the
+  /// column the splitter-strategy ablations compare.
+  double t_select = 0.0;
 };
 
 /// SPMD body: sorts the union of all nodes' `local` vectors; returns this
 /// node's globally contiguous slice.  `report`, when non-null, receives
-/// sizes and timing.
+/// sizes and timing.  `splitter` picks the phase-2 strategy (flat
+/// designated-node sort vs the core/splitter_tree.h multi-level tree).
 template <Record T, typename Less = std::less<T>>
 std::vector<T> psrs_incore_sort(net::NodeContext& ctx,
                                 const hetero::PerfVector& perf,
                                 std::vector<T> local,
                                 InCorePsrsReport* report = nullptr,
-                                Less less = {}, u64 oversample = 1) {
+                                Less less = {}, u64 oversample = 1,
+                                const SplitterConfig& splitter = {}) {
   PALADIN_EXPECTS(perf.node_count() == ctx.node_count());
   net::Communicator& comm = ctx.comm();
   const u32 p = comm.size();
@@ -49,8 +55,16 @@ std::vector<T> psrs_incore_sort(net::NodeContext& ctx,
   seq::metered_sort(std::span<T>(local), ctx, less);
 
   // Phase 2: regular sampling; designated node selects pivots.
+  const double t_sample0 = ctx.clock().now();
   std::vector<T> pivots;
-  {
+  if (splitter_uses_tree(splitter, p)) {
+    const u64 o_total = oversample * splitter.tree_oversample;
+    const u64 off = perf.sample_stride_clamped(n, o_total);
+    std::vector<T> samples =
+        draw_regular_sample<T>(std::span<const T>(local), off);
+    pivots = tree_select_pivots<T, Less>(ctx, perf, std::move(samples),
+                                         o_total, splitter, 0, less);
+  } else {
     const u64 off = perf.sample_stride(n, oversample);
     std::vector<T> samples =
         draw_regular_sample<T>(std::span<const T>(local), off);
@@ -61,6 +75,7 @@ std::vector<T> psrs_incore_sort(net::NodeContext& ctx,
     }
     pivots = comm.template bcast_records<T>(std::move(pivots), 0);
   }
+  const double t_sample1 = ctx.clock().now();
 
   // Phase 3: partition the sorted share at the pivots.
   const std::vector<u64> cuts = partition_cuts<T, Less>(
@@ -99,6 +114,7 @@ std::vector<T> psrs_incore_sort(net::NodeContext& ctx,
     report->local_records = perf.share(rank, n);
     report->final_records = merged.size();
     report->t_total = ctx.clock().now() - t0;
+    report->t_select = t_sample1 - t_sample0;
   }
   return merged;
 }

@@ -26,9 +26,17 @@ namespace paladin::core {
 /// stride `off`: positions off−1, 2·off−1, …, while pos ≤ size−off−1.
 /// Mirrors the paper's pivot-selection loop, including its I/O behaviour
 /// (one seek+read per sample).
+///
+/// Degenerate stride: callers compute off = n/(p·Σperf·oversample) with
+/// floor division, which underflows to 0 once p·Σperf outgrows n (huge p,
+/// small n).  Instead of feeding 0 into the stride loop (whose `i = off−1`
+/// start would wrap), off == 0 degrades to off == 1 — the densest regular
+/// sample, every record — which keeps the selection well-defined at any
+/// scale.  PerfVector::sample_stride_clamped produces the same fallback
+/// at the stride-computation site.
 template <Record T>
 std::vector<T> draw_regular_sample(pdm::BlockReader<T>& sorted, u64 off) {
-  PALADIN_EXPECTS(off >= 1);
+  if (off == 0) off = 1;
   const u64 size = sorted.size_records();
   std::vector<T> samples;
   if (size < off) return samples;
@@ -45,10 +53,10 @@ std::vector<T> draw_regular_sample(pdm::BlockReader<T>& sorted, u64 off) {
   return samples;
 }
 
-/// In-memory variant for the in-core algorithm.
+/// In-memory variant for the in-core algorithm (same off == 0 fallback).
 template <Record T>
 std::vector<T> draw_regular_sample(std::span<const T> sorted, u64 off) {
-  PALADIN_EXPECTS(off >= 1);
+  if (off == 0) off = 1;
   std::vector<T> samples;
   if (sorted.size() < off) return samples;
   u64 i = off - 1;
@@ -70,18 +78,15 @@ std::vector<T> draw_regular_sample(std::span<const T> sorted, u64 off) {
 /// is biased high whenever Σperf ∤ p·perf[i]·cum_j, which measurably
 /// overloads slow nodes.)  `samples` is consumed (sorted in place, charged
 /// to the meter).
-template <Record T, typename Less = std::less<T>>
-std::vector<T> select_pivots(std::vector<T>& samples,
-                             const hetero::PerfVector& perf, Meter& meter,
-                             Less less = {}, u64 oversample = 1) {
+/// The p−1 pivot ranks r_j (1-based, non-decreasing) in the gathered
+/// sample list — shared between the flat selection below and the
+/// tree-path selection (core/splitter_tree.h), so the two cannot drift.
+inline std::vector<u64> psrs_pivot_targets(const hetero::PerfVector& perf,
+                                           u64 oversample = 1) {
   const u32 p = perf.node_count();
   PALADIN_EXPECTS(oversample >= 1);
-  PALADIN_EXPECTS_MSG(samples.size() >= p,
-                      "too few samples to select p-1 pivots");
-  seq::metered_sort(std::span<T>(samples), meter, less);
-
-  std::vector<T> pivots;
-  pivots.reserve(p - 1);
+  std::vector<u64> targets;
+  targets.reserve(p - 1);
   u64 cum = 0;
   for (u32 j = 0; j + 1 < p; ++j) {
     cum += perf[j];
@@ -89,7 +94,23 @@ std::vector<T> select_pivots(std::vector<T>& samples,
     for (u32 i = 0; i < p; ++i) {
       rank += oversample * p * perf[i] * cum / perf.sum();
     }
-    rank = std::max<u64>(rank, 1);
+    targets.push_back(std::max<u64>(rank, 1));
+  }
+  return targets;
+}
+
+template <Record T, typename Less = std::less<T>>
+std::vector<T> select_pivots(std::vector<T>& samples,
+                             const hetero::PerfVector& perf, Meter& meter,
+                             Less less = {}, u64 oversample = 1) {
+  const u32 p = perf.node_count();
+  PALADIN_EXPECTS_MSG(samples.size() >= p,
+                      "too few samples to select p-1 pivots");
+  seq::metered_sort(std::span<T>(samples), meter, less);
+
+  std::vector<T> pivots;
+  pivots.reserve(p - 1);
+  for (const u64 rank : psrs_pivot_targets(perf, oversample)) {
     const u64 index = std::min<u64>(rank - 1, samples.size() - 1);
     pivots.push_back(samples[index]);
   }

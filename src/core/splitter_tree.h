@@ -1,0 +1,468 @@
+// Multi-level splitter selection — Step 2 at cluster scale.
+//
+// The paper's Step 2 gathers ≈ p·Σperf samples at one designated node and
+// sorts them serially: an O(p²) sample volume and a single-node serial
+// bottleneck that dominates the makespan once p reaches the hundreds
+// (bench_scalability quantifies the crossover).  Following the recursive
+// pivot-group hierarchy of *Robust Massively Parallel Sorting* (AMS,
+// PAPERS.md), this header organises the nodes into ≈√p-sized pivot-sorter
+// groups: each group leader merges its members' sorted samples with the
+// loser-tree kernel, re-samples the merged run into a bounded *weighted
+// digest*, and forwards the digest up a (possibly multi-level) tree.  No
+// node ever holds more than fanout·digest_budget ≈ O(p·polylog p) samples,
+// the per-level merges run concurrently across groups, and the final
+// leader — always the designated node — selects the splitters from the
+// root digest by cumulative weight.
+//
+// Weight discipline: a digest point {v, w} asserts "w of the represented
+// leaf samples are ≤ v (and greater than the previous digest point)".
+// Stratified re-sampling emits a point every W = ⌈total/budget⌉ weight
+// units, so total weight is conserved exactly and the root's rank error is
+// at most one stratum per group per level: ≤ levels·total/budget overall.
+// With the default budget max(4p, 2·levels·Σperf) and the tree path's 2×
+// leaf oversampling, that error stays within the slack of the perf-
+// weighted 2× sublist-expansion bound (docs/ALGORITHM.md works the
+// arithmetic; *Optimal Round and Sample-Size Complexity for Partitioning
+// in Parallel Sorting*, PAPERS.md, gives the general schedule).
+//
+// Degenerate configurations reproduce the flat path *exactly*: with a
+// single group (fanout ≥ p) and re-sampling disabled (budget ≥ total) the
+// root digest is the fully merged sample multiset, and weighted_select
+// with the flat formulas picks bit-identical splitters — the
+// flat≡tree equivalence tests in tests/test_splitter_tree.cpp pin this.
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/contracts.h"
+#include "base/math_util.h"
+#include "base/types.h"
+#include "core/sampling.h"
+#include "hetero/perf_vector.h"
+#include "net/cluster.h"
+#include "obs/trace.h"
+#include "seq/counting.h"
+#include "seq/cursors.h"
+#include "seq/loser_tree.h"
+
+namespace paladin::core {
+
+/// How Step 2 (and the sample-splitter phases of the other backends)
+/// selects splitters.  kAuto picks flat below SplitterConfig::
+/// tree_threshold — so the paper-scale runs (and the golden traces) keep
+/// the exact flat path — and the tree above it.
+enum class SplitterStrategy : u8 {
+  kAuto,
+  kFlat,
+  kTree,
+};
+
+inline const char* to_string(SplitterStrategy s) {
+  switch (s) {
+    case SplitterStrategy::kAuto: return "auto";
+    case SplitterStrategy::kFlat: return "flat";
+    case SplitterStrategy::kTree: return "tree";
+  }
+  PALADIN_UNREACHABLE();
+}
+
+inline bool try_parse_splitter_strategy(std::string_view name,
+                                        SplitterStrategy& out) {
+  if (name == "auto") { out = SplitterStrategy::kAuto; return true; }
+  if (name == "flat") { out = SplitterStrategy::kFlat; return true; }
+  if (name == "tree") { out = SplitterStrategy::kTree; return true; }
+  return false;
+}
+
+inline const char* splitter_strategy_names() { return "auto, flat, tree"; }
+
+/// Knobs of the multi-level selection; lives in BackendConfig so every
+/// backend inherits the same seam.  The defaults are the auto heuristic:
+/// flat below 32 nodes (bit-identical to the paper's path), √p-ary tree
+/// above.
+struct SplitterConfig {
+  SplitterStrategy strategy = SplitterStrategy::kAuto;
+  /// kAuto switches to the tree at p >= this.
+  u32 tree_threshold = 32;
+  /// Group size per level; 0 = auto (⌈√p⌉ clamped to [2, 32]).
+  u32 fanout = 0;
+  /// Extra leaf-sampling densification on the tree path (multiplies the
+  /// backend's own oversample).  2 halves the leaf quantisation error,
+  /// buying the slack the digest re-sampling spends — see the bound
+  /// arithmetic in docs/ALGORITHM.md.
+  u64 tree_oversample = 2;
+  /// Max digest points a node forwards per level; 0 = auto
+  /// (max(4p, 2·levels·Σperf)).  kNoDigest disables re-sampling entirely
+  /// (every merged point forwarded — the degenerate exact mode).
+  u64 digest_per_node = 0;
+
+  static constexpr u64 kNoDigest = ~u64{0};
+};
+
+/// Whether this configuration routes splitter selection through the tree.
+inline bool splitter_uses_tree(const SplitterConfig& cfg, u32 p) {
+  if (p <= 1) return false;
+  switch (cfg.strategy) {
+    case SplitterStrategy::kFlat: return false;
+    case SplitterStrategy::kTree: return true;
+    case SplitterStrategy::kAuto: return p >= cfg.tree_threshold;
+  }
+  PALADIN_UNREACHABLE();
+}
+
+/// Resolved group size: explicit, or ⌈√p⌉ clamped to [2, 32].
+inline u32 splitter_fanout(const SplitterConfig& cfg, u32 p) {
+  if (cfg.fanout >= 2) return cfg.fanout;
+  u32 g = 1;
+  while (static_cast<u64>(g) * g < p) ++g;
+  return std::clamp<u32>(g, 2, 32);
+}
+
+/// Tree depth: ⌈log_fanout p⌉.
+inline u32 splitter_levels(u32 p, u32 fanout) {
+  PALADIN_EXPECTS(fanout >= 2);
+  u32 levels = 0;
+  u64 active = p;
+  while (active > 1) {
+    active = ceil_div(active, static_cast<u64>(fanout));
+    ++levels;
+  }
+  return levels;
+}
+
+/// Resolved per-node digest budget (see SplitterConfig::digest_per_node).
+inline u64 splitter_digest_budget(const SplitterConfig& cfg, u32 p,
+                                  u32 levels, u64 sum_perf) {
+  if (cfg.digest_per_node != 0) return cfg.digest_per_node;
+  return std::max<u64>(4 * static_cast<u64>(p),
+                       2 * static_cast<u64>(levels) * sum_perf);
+}
+
+/// One digest point: `weight` represented leaf samples are ≤ `value` (and
+/// above the previous point of the same digest).
+template <Record T>
+struct WeightedSample {
+  T value;
+  u64 weight;
+};
+
+/// Per-node observability of one tree gather (also mirrored into the obs
+/// counters splitter.levels / splitter.fanout / splitter.samples_forwarded).
+struct SplitterTreeStats {
+  u32 levels = 0;
+  u32 fanout = 0;
+  /// Digest points this node sent upward (0 for the root).
+  u64 samples_forwarded = 0;
+  /// Points this node popped through its level merges (leaders only).
+  u64 merged_points = 0;
+};
+
+/// Message tag of the digest sends (54/55 collect, 70–72 multiway taken).
+inline constexpr int kTagSplitterDigest = 80;
+
+/// Merges `runs` (each sorted by value) with a loser tree charged to
+/// `meter` and re-samples the merged stream into at most `digest_budget`
+/// stratified points (weight conserved exactly).  With `merge_equal`,
+/// equal-valued points are folded first with weight = max — the digest
+/// then approximates the *unique-value* distribution (the Axtmann–Sanders
+/// dedup mode), where max is the lossless fold as long as no re-sampling
+/// happened below (each unique value counts once however many runs carry
+/// it).
+template <Record T, typename Less = std::less<T>>
+std::vector<WeightedSample<T>> merge_weighted_runs(
+    Meter& meter, std::vector<std::vector<WeightedSample<T>>>& runs,
+    u64 digest_budget, bool merge_equal, Less less = {},
+    SplitterTreeStats* stats = nullptr) {
+  using WS = WeightedSample<T>;
+  PALADIN_EXPECTS(digest_budget >= 1);
+
+  u64 total_points = 0;
+  u64 total_weight = 0;
+  for (const auto& run : runs) {
+    for (const WS& ws : run) total_weight += ws.weight;
+    total_points += run.size();
+  }
+
+  std::vector<seq::MemCursor<WS>> cursors;
+  cursors.reserve(runs.size());
+  for (const auto& run : runs) {
+    cursors.emplace_back(std::span<const WS>(run));
+  }
+  std::vector<seq::MemCursor<WS>*> sources;
+  sources.reserve(cursors.size());
+  for (auto& c : cursors) sources.push_back(&c);
+  auto value_less = [&less](const WS& a, const WS& b) {
+    return less(a.value, b.value);
+  };
+  seq::LoserTree<WS, seq::MemCursor<WS>, decltype(value_less)> tree(
+      std::move(sources), value_less, &meter);
+
+  // Stratum width: emit a point every W weight units.  W == 1 keeps every
+  // merged point — the lossless mode the degenerate configs rely on.
+  const u64 strat =
+      std::max<u64>(1, ceil_div(total_weight, digest_budget));
+  std::vector<WS> out;
+  out.reserve(std::min<u64>(total_points, digest_budget + 1));
+  u64 acc = 0;
+  T last{};
+  auto feed = [&](const WS& ws) {
+    acc += ws.weight;
+    last = ws.value;
+    if (acc >= strat) {
+      out.push_back({ws.value, acc});
+      acc = 0;
+    }
+  };
+
+  WS cur{};
+  bool have = false;
+  u64 popped = 0;
+  while (const WS* top = tree.peek()) {
+    if (merge_equal && have && !less(cur.value, top->value) &&
+        !less(top->value, cur.value)) {
+      cur.weight = std::max(cur.weight, top->weight);
+    } else {
+      if (have) feed(cur);
+      cur = *top;
+      have = true;
+    }
+    ++popped;
+    tree.pop_discard();
+  }
+  if (have) feed(cur);
+  if (acc > 0) out.push_back({last, acc});  // trailing partial stratum
+  meter.on_moves(popped);
+  PALADIN_ASSERT(popped == total_points);
+  if (stats != nullptr) stats->merged_points += popped;
+  return out;
+}
+
+/// Collective: reduces every node's sorted weighted sample up the group
+/// tree to `root`; returns the root digest there (empty elsewhere).
+/// Participants are ordered root-first (root, then the other ranks
+/// ascending) so the final leader is always the designated node; each
+/// non-leader sends exactly once, leaders receive members in ascending
+/// order, so the result — and the virtual-time schedule — is
+/// deterministic.  All sends go through the Communicator funnel, so the
+/// digest streams get fault framing/retransmission for free.
+template <Record T, typename Less = std::less<T>>
+std::vector<WeightedSample<T>> splitter_tree_gather(
+    net::NodeContext& ctx, u32 root, u32 fanout, u64 digest_budget,
+    bool merge_equal, std::vector<WeightedSample<T>> digest, Less less = {},
+    SplitterTreeStats* stats = nullptr) {
+  using WS = WeightedSample<T>;
+  net::Communicator& comm = ctx.comm();
+  const u32 p = comm.size();
+  const u32 rank = comm.rank();
+  PALADIN_EXPECTS(root < p);
+  PALADIN_EXPECTS(fanout >= 2);
+  obs::Tracer* const tr = ctx.obs();
+
+  if (stats != nullptr) {
+    stats->levels = splitter_levels(p, fanout);
+    stats->fanout = fanout;
+  }
+  if (p == 1) return digest;
+
+  // Participant index: 0 = root, then the other ranks in ascending order.
+  auto rank_of = [root](u64 participant) -> u32 {
+    if (participant == 0) return root;
+    const u32 r = static_cast<u32>(participant - 1);
+    return r < root ? r : r + 1;
+  };
+  u32 idx = rank == root ? 0 : 1 + (rank < root ? rank : rank - 1);
+
+  u32 active = p;
+  u64 stride = 1;  // current-level index j sits at participant j·stride
+  u32 level = 0;
+  while (active > 1) {
+    ++level;
+    const u32 group = idx / fanout;
+    const u32 lead = group * fanout;
+    obs::ScopedSpan span(tr, "splitter.level" + std::to_string(level),
+                         "splitter");
+    if (idx != lead) {
+      // Member: forward the digest to the group leader and drop out.
+      comm.template send_records<WS>(rank_of(static_cast<u64>(lead) * stride),
+                                     kTagSplitterDigest,
+                                     std::span<const WS>(digest));
+      if (stats != nullptr) stats->samples_forwarded += digest.size();
+      span.arg("points_sent", digest.size());
+      digest.clear();
+      return digest;
+    }
+    // Leader: merge my digest with the members' (ascending index order).
+    std::vector<std::vector<WS>> runs;
+    runs.reserve(fanout);
+    runs.push_back(std::move(digest));
+    const u32 end = std::min<u64>(static_cast<u64>(lead) + fanout, active);
+    for (u32 m = lead + 1; m < end; ++m) {
+      runs.push_back(comm.template recv_records<WS>(
+          rank_of(static_cast<u64>(m) * stride), kTagSplitterDigest));
+    }
+    digest = merge_weighted_runs<T, Less>(ctx, runs, digest_budget,
+                                          merge_equal, less, stats);
+    span.arg("points_kept", digest.size());
+    span.end();
+    active = ceil_div(active, fanout);
+    idx = group;
+    stride *= fanout;
+  }
+  return digest;
+}
+
+/// Selects, for each (1-based, non-decreasing) cumulative-weight target,
+/// the first digest point whose cumulative weight reaches it (clamped to
+/// the last point) — the weighted generalisation of "the r-th smallest
+/// sample".  With unit weights this is exactly digest[min(t−1, size−1)],
+/// the flat paths' index arithmetic.
+template <Record T>
+std::vector<T> weighted_select(std::span<const WeightedSample<T>> digest,
+                               std::span<const u64> targets) {
+  PALADIN_EXPECTS(!digest.empty() || targets.empty());
+  std::vector<T> out;
+  out.reserve(targets.size());
+  u64 cum = 0;  // weight strictly before digest[d]
+  std::size_t d = 0;
+  u64 prev = 0;
+  for (u64 t : targets) {
+    PALADIN_EXPECTS(t >= 1 && t >= prev);
+    prev = t;
+    while (d + 1 < digest.size() && cum + digest[d].weight < t) {
+      cum += digest[d].weight;
+      ++d;
+    }
+    out.push_back(digest[d].value);
+  }
+  return out;
+}
+
+namespace detail {
+
+template <Record T>
+std::vector<WeightedSample<T>> unit_weights(std::vector<T> values) {
+  std::vector<WeightedSample<T>> out;
+  out.reserve(values.size());
+  for (const T& v : values) out.push_back({v, 1});
+  return out;
+}
+
+inline void record_tree_counters(obs::Tracer* tr,
+                                 const SplitterTreeStats& stats) {
+  if (tr == nullptr) return;
+  tr->counters().set("splitter.levels", stats.levels);
+  tr->counters().set("splitter.fanout", stats.fanout);
+  tr->counters().add("splitter.samples_forwarded", stats.samples_forwarded);
+}
+
+}  // namespace detail
+
+/// Tree-path Step 2 for the PSRS backends: every node passes its regular
+/// sample (drawn with the *clamped* stride at the combined oversample
+/// `oversample` = backend oversample × cfg.tree_oversample); returns the
+/// p−1 perf-weighted pivots on every node.  The pivot targets are the flat
+/// select_pivots ranks (psrs_pivot_targets), so the degenerate tree
+/// configuration reproduces the flat pivots bit-for-bit.
+template <Record T, typename Less = std::less<T>>
+std::vector<T> tree_select_pivots(net::NodeContext& ctx,
+                                  const hetero::PerfVector& perf,
+                                  std::vector<T> samples, u64 oversample,
+                                  const SplitterConfig& cfg, u32 root,
+                                  Less less = {},
+                                  SplitterTreeStats* stats_out = nullptr) {
+  const u32 p = ctx.node_count();
+  const u32 fanout = splitter_fanout(cfg, p);
+  const u64 budget = splitter_digest_budget(
+      cfg, p, splitter_levels(p, fanout), perf.sum());
+  SplitterTreeStats stats;
+  std::vector<WeightedSample<T>> digest = splitter_tree_gather<T, Less>(
+      ctx, root, fanout, budget, /*merge_equal=*/false,
+      detail::unit_weights<T>(std::move(samples)), less, &stats);
+  std::vector<T> pivots;
+  if (ctx.rank() == root) {
+    u64 total = 0;
+    for (const auto& ws : digest) total += ws.weight;
+    PALADIN_EXPECTS_MSG(total >= p, "too few samples to select p-1 pivots");
+    pivots = weighted_select<T>(std::span<const WeightedSample<T>>(digest),
+                                psrs_pivot_targets(perf, oversample));
+  }
+  pivots = ctx.comm().template bcast_records<T>(std::move(pivots), root);
+  PALADIN_ASSERT(pivots.size() == p - 1);
+  detail::record_tree_counters(ctx.obs(), stats);
+  if (stats_out != nullptr) *stats_out = stats;
+  return pivots;
+}
+
+/// Tree-path counterpart of select_sample_splitters (random-sample
+/// backends: distribution, overpartitioning, multiway): sorts the local
+/// sample, reduces it up the tree, and applies the flat quantile-cut
+/// formulas to the root digest.  With `unique_splitters` the reduction
+/// runs in unique-value space (local dedup + merge_equal folds), matching
+/// the flat dedup-then-cut exactly in the degenerate configuration.
+template <Record T, typename Less = std::less<T>>
+std::vector<T> tree_select_sample_splitters(
+    net::NodeContext& ctx, const SplitterConfig& cfg,
+    std::vector<T> local_sample, u64 cuts, const hetero::PerfVector* perf,
+    bool unique_splitters, u32 root, Less less = {},
+    SplitterTreeStats* stats_out = nullptr) {
+  const u32 p = ctx.node_count();
+  const u32 fanout = splitter_fanout(cfg, p);
+  // Budget in sample units; Σperf only parameterises the perf-weighted
+  // path, the uniform one scales with p alone.
+  const u64 budget = splitter_digest_budget(
+      cfg, p, splitter_levels(p, fanout),
+      perf != nullptr ? perf->sum() : p);
+
+  seq::metered_sort(std::span<T>(local_sample), ctx, less);
+  std::vector<WeightedSample<T>> mine;
+  if (unique_splitters) {
+    auto equiv = [&less](const T& a, const T& b) {
+      return !less(a, b) && !less(b, a);
+    };
+    local_sample.erase(
+        std::unique(local_sample.begin(), local_sample.end(), equiv),
+        local_sample.end());
+  }
+  mine = detail::unit_weights<T>(std::move(local_sample));
+
+  SplitterTreeStats stats;
+  std::vector<WeightedSample<T>> digest = splitter_tree_gather<T, Less>(
+      ctx, root, fanout, budget, /*merge_equal=*/unique_splitters,
+      std::move(mine), less, &stats);
+
+  std::vector<T> splitters;
+  if (ctx.rank() == root) {
+    u64 total = 0;
+    for (const auto& ws : digest) total += ws.weight;
+    PALADIN_EXPECTS_MSG(total > cuts,
+                        "not enough samples for the requested splitters");
+    std::vector<u64> targets;
+    targets.reserve(cuts);
+    if (perf != nullptr) {
+      PALADIN_EXPECTS(cuts + 1 == perf->node_count());
+      u64 cum = 0;
+      for (u32 j = 0; j + 1 < perf->node_count(); ++j) {
+        cum += (*perf)[j];
+        targets.push_back(
+            std::min<u64>(total * cum / perf->sum(), total - 1) + 1);
+      }
+    } else {
+      for (u64 j = 1; j <= cuts; ++j) {
+        targets.push_back(j * total / (cuts + 1) + 1);
+      }
+    }
+    splitters = weighted_select<T>(
+        std::span<const WeightedSample<T>>(digest), targets);
+  }
+  splitters = ctx.comm().template bcast_records<T>(std::move(splitters), root);
+  PALADIN_ASSERT(splitters.size() == cuts || cuts == 0);
+  detail::record_tree_counters(ctx.obs(), stats);
+  if (stats_out != nullptr) *stats_out = stats;
+  return splitters;
+}
+
+}  // namespace paladin::core

@@ -83,6 +83,17 @@ class PerfVector {
     return n / unit;
   }
 
+  /// Tree-path stride (core/splitter_tree.h): like sample_stride, but
+  /// degrades to the densest regular sample (off = 1, every record)
+  /// instead of failing when n < p·Σperf·oversample — the huge-p /
+  /// small-n corner the multi-level selection must survive.  Pairs with
+  /// the off == 0 fallback in core::draw_regular_sample.
+  u64 sample_stride_clamped(u64 n, u64 oversample = 1) const {
+    PALADIN_EXPECTS(oversample >= 1);
+    const u64 unit = sum_ * node_count() * oversample;
+    return n >= unit ? n / unit : 1;
+  }
+
   /// Number of samples node i draws in Step 2: the paper's loop visits
   /// positions off−1, 2·off−1, … while pos ≤ l_i−off−1, i.e.
   /// ⌊l_i/off⌋ − 1 samples — exactly p·perf[i] − 1 when the sizes divide

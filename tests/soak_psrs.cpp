@@ -1,7 +1,8 @@
 // Property-based soak tier (ctest label `soak`, docs/ROBUSTNESS.md): a
 // seeded sweep over (cluster shape, perf vector, distribution, message
 // size, fault plan) cases running the pipelined external PSRS (and, on
-// ~25% of cases, the multiway backend) end to end.
+// ~25% of cases, the multiway backend; another ~25% force the multi-level
+// splitter tree with fanout 2) end to end.
 // Every case asserts the std::sort oracle on the concatenated output,
 // exact record conservation, and the recovery-matching invariants (every
 // injected transient fault paired with a retry / re-read / retransmit /
@@ -12,8 +13,8 @@
 // across three shards so ctest -j overlaps them); nightly CI raises it.
 // On failure the assertion message carries a one-line repro:
 //   PALADIN_SOAK_REPRO case=<i> p=... perf=... dist=... k=... mrec=...
-//   algo=... cfgseed=... plan={seed=... dr=... dw=... dc=... nd=... nu=...
-//   ny=...}
+//   algo=... splitter=... cfgseed=... plan={seed=... dr=... dw=... dc=...
+//   nd=... nu=... ny=...}
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -60,6 +61,9 @@ struct SoakCase {
   u64 message_records;
   u64 config_seed;
   bool multiway = false;  ///< ~25% of cases run the multiway backend instead
+  /// ~25% of cases force the multi-level splitter tree (with a tiny fanout
+  /// so even p <= 4 builds a real multi-level hierarchy).
+  bool tree_splitters = false;
   FaultPlan plan;
   std::string repro;
 };
@@ -106,6 +110,8 @@ SoakCase make_case(u64 index) {
   }
   // Drawn last so the parameters of pre-existing cases are unchanged.
   c.multiway = gen.next() % 4 == 0;
+  // Drawn after the multiway flag, for the same reason.
+  c.tree_splitters = gen.next() % 4 == 0;
 
   std::ostringstream repro;
   repro << "PALADIN_SOAK_REPRO case=" << index << " p=" << p << " perf=[";
@@ -113,6 +119,7 @@ SoakCase make_case(u64 index) {
   repro << "] dist=" << workload::to_string(c.dist) << " k=" << c.k
         << " mrec=" << c.message_records
         << " algo=" << (c.multiway ? "ext-multiway" : "ext-psrs")
+        << " splitter=" << (c.tree_splitters ? "tree" : "flat")
         << " cfgseed=" << c.config_seed
         << " plan={seed=" << c.plan.seed
         << " dr=" << c.plan.disk.read_fail_prob
@@ -164,12 +171,18 @@ SoakResult run_case(const SoakCase& c) {
         core::file_checksum<DefaultKey>(ctx.disk(), "input");
     NodeResult r;
     r.input = pdm::read_file<DefaultKey>(ctx.disk(), "input");
+    core::SplitterConfig splitter;
+    if (c.tree_splitters) {
+      splitter.strategy = core::SplitterStrategy::kTree;
+      splitter.fanout = 2;  // real multi-level hierarchy even at p <= 4
+    }
     if (c.multiway) {
       core::ExtMultiwayConfig mw;
       mw.sequential.memory_records = test_params::kMemoryRecords;
       mw.sequential.tape_count = test_params::kTapeCount;
       mw.sequential.allow_in_memory = false;
       mw.message_records = c.message_records;
+      mw.splitter = splitter;
       core::ext_multiway_sort<DefaultKey>(ctx, perf, mw);
     } else {
       ExtPsrsConfig psrs;
@@ -178,6 +191,7 @@ SoakResult run_case(const SoakCase& c) {
       psrs.sequential.allow_in_memory = false;
       psrs.message_records = c.message_records;
       psrs.pipelined = true;
+      psrs.splitter = splitter;
       core::ext_psrs_sort<DefaultKey>(ctx, perf, psrs);
     }
     r.sorted = core::verify_global_order<DefaultKey>(ctx, "sorted");

@@ -1,41 +1,53 @@
 #!/usr/bin/env python3
-"""Gate merge-kernel wall-clock against the committed baseline.
+"""Gate bench results against the committed baselines.
 
-Usage: check_perf_regression.py NEW_JSON BASELINE_JSON [--threshold=0.20]
+Usage:
+  check_perf_regression.py NEW_JSON BASELINE_JSON [--threshold=0.20]
+  check_perf_regression.py --splitters NEW_JSON BASELINE_JSON [--threshold=0.20]
 
-Compares the merge rows (kernel name containing "merge") of a freshly
-generated bench_results/BENCH_hotpaths.json against the committed baseline
-and exits nonzero when any row regressed by more than the threshold
-(default +20% ns/record).  Rows present on only one side are reported but
-never fail the gate (new kernels appear, retired ones vanish), and older
-baselines without the compares_per_record field are accepted.
+Default mode compares the merge rows (kernel name containing "merge") of a
+freshly generated bench_results/BENCH_hotpaths.json against the committed
+baseline and exits nonzero when any row regressed by more than the
+threshold (default +20% ns/record).
+
+--splitters compares bench_results/BENCH_splitters.json rows keyed by
+(strategy, p, dist): t_select_s drift beyond the threshold fails, and —
+since the virtual clock is deterministic — an expansion drift beyond 0.05
+is flagged as a logic change, not noise.
+
+In both modes rows present on only one side are reported but never fail
+the gate (new rows appear, retired ones vanish), and older baselines
+missing optional fields are accepted.
 """
 
 import json
 import sys
 
+EXPANSION_TOLERANCE = 0.05
 
-def load_rows(path):
+
+def load_doc(path):
     with open(path) as f:
-        doc = json.load(f)
+        return json.load(f)
+
+
+def load_merge_rows(path):
     rows = {}
-    for row in doc.get("rows", []):
+    for row in load_doc(path).get("rows", []):
         rows[(row["kernel"], row["mode"])] = row
     return rows
 
 
-def main(argv):
-    args = [a for a in argv[1:] if not a.startswith("--")]
-    threshold = 0.20
-    for a in argv[1:]:
-        if a.startswith("--threshold="):
-            threshold = float(a.split("=", 1)[1])
-    if len(args) != 2:
-        print(__doc__.strip(), file=sys.stderr)
-        return 2
+def load_splitter_rows(path):
+    rows = {}
+    for row in load_doc(path).get("rows", []):
+        rows[(row["strategy"], row["p"], row["dist"])] = row
+    return rows
 
-    new_rows = load_rows(args[0])
-    base_rows = load_rows(args[1])
+
+def check_merge(new_path, base_path, threshold):
+    new_rows = load_merge_rows(new_path)
+    base_rows = load_merge_rows(base_path)
 
     failures = []
     compared = 0
@@ -80,6 +92,72 @@ def main(argv):
         return 1
     print(f"\nOK: {compared} merge rows within {threshold:.0%} of baseline")
     return 0
+
+
+def check_splitters(new_path, base_path, threshold):
+    new_rows = load_splitter_rows(new_path)
+    base_rows = load_splitter_rows(base_path)
+
+    failures = []
+    compared = 0
+    for key, base in sorted(base_rows.items()):
+        strategy, p, dist = key
+        label = f"{strategy}/p{p}/{dist}"
+        new = new_rows.get(key)
+        if new is None:
+            print(f"note: {label} missing from new results; skipped")
+            continue
+        compared += 1
+        old_t = base["t_select_s"]
+        new_t = new["t_select_s"]
+        ratio = new_t / old_t if old_t > 0 else float("inf")
+        status = "ok"
+        if ratio > 1.0 + threshold:
+            status = "REGRESSION"
+            failures.append(key)
+        print(f"{status:>10}  {label:<24} "
+              f"{old_t:10.6f} -> {new_t:10.6f} s ({ratio - 1.0:+.1%})")
+        # Selection balance is deterministic per seed: an expansion drift is
+        # a splitter-logic change, not measurement noise.
+        if "expansion" in base and "expansion" in new:
+            drift = abs(base["expansion"] - new["expansion"])
+            if drift > EXPANSION_TOLERANCE:
+                print(f"            expansion drift: {base['expansion']} -> "
+                      f"{new['expansion']}")
+                failures.append(key)
+
+    for key in sorted(set(new_rows) - set(base_rows)):
+        print(f"note: new row {key[0]}/p{key[1]}/{key[2]} has no baseline; "
+              f"skipped")
+
+    if compared == 0:
+        print("error: no splitter rows in common — wrong files?",
+              file=sys.stderr)
+        return 2
+    if failures:
+        print(f"\nFAIL: {len(set(failures))} splitter row(s) drifted more "
+              f"than {threshold:.0%} (or expansion beyond "
+              f"{EXPANSION_TOLERANCE}) vs the committed baseline")
+        return 1
+    print(f"\nOK: {compared} splitter rows within {threshold:.0%} of "
+          f"baseline")
+    return 0
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    threshold = 0.20
+    splitters = "--splitters" in argv[1:]
+    for a in argv[1:]:
+        if a.startswith("--threshold="):
+            threshold = float(a.split("=", 1)[1])
+    if len(args) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    if splitters:
+        return check_splitters(args[0], args[1], threshold)
+    return check_merge(args[0], args[1], threshold)
 
 
 if __name__ == "__main__":
