@@ -11,10 +11,19 @@
 // reverse-sorted, zipf, ...), so it runs without any input file.  The
 // simulated execution-time breakdown and the balance metric are printed
 // either way; --obs-out writes the phase-span trace for every backend.
+//
+// With --jobs SPEC the tool switches to sort-as-a-service mode
+// (docs/SERVICE.md): SPEC is either a file or an inline string of
+// ';'/newline-separated jobs, each a comma-separated key=value list
+//   n=4096,dist=zipf,algo=ext-psrs,width=2,arrival=0.5,priority=1
+// run through the multi-job scheduler under --policy fifo|fair-share on
+// the shared simulated cluster.  --obs-out then writes the aggregated
+// per-job service report (PREFIX.report.json).
 #include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -28,7 +37,9 @@
 #include "metrics/expansion.h"
 #include "metrics/table.h"
 #include "net/cluster.h"
+#include "obs/export.h"
 #include "pdm/typed_io.h"
+#include "service/service.h"
 #include "workload/generators.h"
 
 using namespace paladin;
@@ -48,6 +59,8 @@ struct Options {
   u64 demo_records = 0;
   workload::Dist demo_dist = workload::Dist::kUniform;
   std::string obs_out;
+  std::string jobs;  // file or inline spec; non-empty = service mode
+  service::SchedulePolicy policy = service::SchedulePolicy::kFifo;
 
   static void usage() {
     std::cout
@@ -65,7 +78,13 @@ struct Options {
         << workload::dist_names()
         << ")\n"
            "             [--obs-out PREFIX]  (write PREFIX.trace.json + "
-           "PREFIX.report.json)\n";
+           "PREFIX.report.json)\n"
+           "             [--jobs FILE|SPEC]  (service mode: "
+           "';'-separated k=v jobs,\n"
+           "                 keys: n dist algo width arrival priority "
+           "seed bytes id)\n"
+           "             [--policy NAME]  (--jobs policy; one of: "
+        << service::policy_names() << ")\n";
   }
 
   static Options parse(int argc, char** argv) {
@@ -126,12 +145,23 @@ struct Options {
         opt.demo_dist = *dist;
       } else if (arg == "--obs-out") {
         opt.obs_out = need_value(i);
+      } else if (arg == "--jobs") {
+        opt.jobs = need_value(i);
+      } else if (arg == "--policy") {
+        const std::string name = need_value(i);
+        const auto policy = service::try_parse_policy(name);
+        if (!policy) {
+          std::cerr << "unknown policy '" << name
+                    << "'; valid: " << service::policy_names() << "\n";
+          std::exit(2);
+        }
+        opt.policy = *policy;
       } else {
         usage();
         std::exit(arg == "--help" || arg == "-h" ? 0 : 2);
       }
     }
-    if (opt.input.empty() && opt.demo_records == 0) {
+    if (opt.input.empty() && opt.demo_records == 0 && opt.jobs.empty()) {
       usage();
       std::exit(2);
     }
@@ -178,6 +208,162 @@ std::vector<u32> load_keys(const Options& opt) {
   return keys;
 }
 
+// --- sort-as-a-service mode (--jobs) -------------------------------------
+
+/// One `key=value` pair applied to a JobSpec.  Exits with a message on an
+/// unknown key or unparsable value — the spec is user input.
+void apply_job_field(service::JobSpec& job, const std::string& key,
+                     const std::string& value) {
+  try {
+    if (key == "n" || key == "records") {
+      job.records = std::stoull(value);
+    } else if (key == "dist") {
+      const auto dist = workload::try_parse_dist(value);
+      if (!dist) throw std::invalid_argument(workload::dist_names());
+      job.dist = *dist;
+    } else if (key == "algo" || key == "algorithm") {
+      const auto algo = core::try_parse_algorithm(value);
+      if (!algo) throw std::invalid_argument(core::algorithm_names());
+      job.algorithm = *algo;
+    } else if (key == "width") {
+      job.perf.assign(std::stoul(value), 1);
+    } else if (key == "arrival") {
+      job.arrival_s = std::stod(value);
+    } else if (key == "priority") {
+      job.priority = static_cast<u32>(std::stoul(value));
+    } else if (key == "seed") {
+      job.seed = std::stoull(value);
+    } else if (key == "bytes") {
+      job.record_bytes = static_cast<u32>(std::stoul(value));
+    } else if (key == "id") {
+      job.id = std::stoull(value);
+    } else {
+      std::cerr << "unknown job key '" << key
+                << "'; valid: n dist algo width arrival priority seed "
+                   "bytes id\n";
+      std::exit(2);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "bad value '" << value << "' for job key '" << key << "' ("
+              << e.what() << ")\n";
+    std::exit(2);
+  }
+}
+
+/// Parse a --jobs spec: if the argument names a readable file its contents
+/// are the spec, otherwise the argument itself is.  Jobs are separated by
+/// ';' or newlines; '#' starts a comment line; each job is a
+/// comma-separated key=value list.  Ids default to the job's position.
+std::vector<service::JobSpec> parse_jobs(const std::string& arg) {
+  std::string text = arg;
+  if (std::ifstream file(arg); file) {
+    std::ostringstream buf;
+    buf << file.rdbuf();
+    text = buf.str();
+  }
+  for (char& c : text) {
+    if (c == '\n') c = ';';
+  }
+  std::vector<service::JobSpec> jobs;
+  std::stringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line, ';')) {
+    const auto start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos || line[start] == '#') continue;
+    service::JobSpec job;
+    job.id = jobs.size();
+    std::stringstream fields(line);
+    std::string field;
+    while (std::getline(fields, field, ',')) {
+      const auto eq = field.find('=');
+      if (eq == std::string::npos) {
+        std::cerr << "job field '" << field << "' is not key=value\n";
+        std::exit(2);
+      }
+      auto trim = [](std::string s) {
+        const auto a = s.find_first_not_of(" \t\r");
+        const auto b = s.find_last_not_of(" \t\r");
+        return a == std::string::npos ? std::string() : s.substr(a, b - a + 1);
+      };
+      apply_job_field(job, trim(field.substr(0, eq)),
+                      trim(field.substr(eq + 1)));
+    }
+    jobs.push_back(std::move(job));
+  }
+  if (jobs.empty()) {
+    std::cerr << "--jobs spec contains no jobs\n";
+    std::exit(2);
+  }
+  return jobs;
+}
+
+/// Service mode: run the parsed workload through the multi-job scheduler
+/// on the shared cluster and print the per-job report.
+int run_service(const Options& opt, const net::ClusterConfig& config) {
+  service::ServiceConfig sc;
+  sc.cluster = config;
+  sc.policy = opt.policy;
+  sc.sort.splitter.strategy = opt.splitter;
+  sc.sort.sequential.memory_records = opt.memory_records;
+  sc.sort.sequential.allow_in_memory = false;
+  sc.sort.message_records = opt.message_records;
+
+  const std::vector<service::JobSpec> jobs = parse_jobs(opt.jobs);
+  std::cout << "service mode: " << jobs.size() << " job(s), policy "
+            << service::to_string(opt.policy) << ", cluster perf "
+            << hetero::PerfVector(config.perf).to_string() << ", "
+            << config.network.name << "\n";
+
+  service::SortService svc(sc);
+  const service::ServiceReport report = svc.run(jobs);
+
+  for (const auto& [spec, reason] : report.rejected) {
+    std::cerr << "rejected job " << spec.id << ": " << reason << "\n";
+  }
+
+  metrics::TextTable t({"job", "algorithm", "dist", "records", "width",
+                        "arrival", "start", "finish", "latency (s)", "ok"});
+  for (const service::JobReport& j : report.jobs) {
+    t.add_row({std::to_string(j.spec.id), core::to_string(j.spec.algorithm),
+               workload::to_string(j.spec.dist), std::to_string(j.records),
+               std::to_string(j.nodes.size()),
+               metrics::TextTable::fmt(j.arrival_s, 3),
+               metrics::TextTable::fmt(j.start_s, 3),
+               metrics::TextTable::fmt(j.finish_s, 3),
+               metrics::TextTable::fmt(j.latency_s(), 3),
+               j.ok ? "yes" : "NO"});
+  }
+  t.print(std::cout);
+  std::cout << "makespan " << metrics::TextTable::fmt(report.makespan_s, 3)
+            << " s; " << metrics::TextTable::fmt(report.jobs_per_vsecond(), 3)
+            << " jobs/vsec; latency p50/p95/p99 "
+            << metrics::TextTable::fmt(
+                   latency_percentile(report.jobs, 0.50), 3)
+            << "/"
+            << metrics::TextTable::fmt(
+                   latency_percentile(report.jobs, 0.95), 3)
+            << "/"
+            << metrics::TextTable::fmt(
+                   latency_percentile(report.jobs, 0.99), 3)
+            << " s\n";
+
+  if (!opt.obs_out.empty()) {
+    if (obs::write_text_file(opt.obs_out + ".report.json",
+                             service::service_report_json(report))) {
+      std::cout << "wrote " << opt.obs_out
+                << ".report.json (aggregated service report)\n";
+    } else {
+      std::cerr << "warning: failed to write " << opt.obs_out
+                << ".report.json\n";
+    }
+  }
+  if (!report.all_ok()) {
+    std::cerr << "a job failed verification\n";
+    return 1;
+  }
+  return report.rejected.empty() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -196,6 +382,10 @@ int main(int argc, char** argv) {
     return 2;
   }
   config.observe = !opt.obs_out.empty();
+
+  if (!opt.jobs.empty()) {
+    return run_service(opt, config);
+  }
 
   std::vector<u32> keys;
   u64 original = 0;

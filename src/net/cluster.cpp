@@ -20,6 +20,23 @@ NodeContext::NodeContext(const ClusterConfig& config, Fabric& fabric, u32 rank)
       comm_(fabric, rank, clock_),
       disk_(make_node_disk(config, rank)),
       rng_(mix64(config.seed) ^ mix64(0x9e37'79b9'7f4a'7c15ULL + rank)) {
+  init_node(config, rank);
+}
+
+NodeContext::NodeContext(const ClusterConfig& config, Fabric& fabric, u32 rank,
+                         CommGroup group)
+    : config_(&config),
+      rank_(rank),
+      comm_(fabric, rank, clock_, std::move(group)),
+      disk_(make_node_disk(config, rank)),
+      rng_(mix64(config.seed) ^ mix64(0x9e37'79b9'7f4a'7c15ULL + rank)) {
+  // The job's virtual cluster and its node slice must agree: perf[] is
+  // indexed by group-local rank.
+  PALADIN_EXPECTS(config.node_count() == comm_.size());
+  init_node(config, rank);
+}
+
+void NodeContext::init_node(const ClusterConfig& config, u32 rank) {
   // Disk transfer time is charged to this node's clock, optionally scaled
   // by the node speed (see CostModel::scale_disk_with_speed).
   const double divisor =

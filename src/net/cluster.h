@@ -93,6 +93,14 @@ class NodeContext final : public Meter, public obs::TimeSource {
  public:
   NodeContext(const ClusterConfig& config, Fabric& fabric, u32 rank);
 
+  /// Group-scoped node of a multi-job run (src/service): `rank` is local
+  /// to the group, the fabric is the shared physical transport, and
+  /// `config` describes the job's virtual cluster (perf sliced to the
+  /// group's nodes, per-job seed/workdir).  With the identity group and
+  /// tag_base 0 this is byte-for-byte the plain constructor.
+  NodeContext(const ClusterConfig& config, Fabric& fabric, u32 rank,
+              CommGroup group);
+
   u32 rank() const { return rank_; }
   u32 node_count() const { return comm_.size(); }
   u32 perf() const { return config_->perf[rank_]; }
@@ -140,6 +148,10 @@ class NodeContext final : public Meter, public obs::TimeSource {
   void on_seconds(double s) override { clock_.advance(s / speed()); }
 
  private:
+  /// Shared tail of both constructors: disk cost sink, tracer and fault
+  /// wiring (everything after the member init list).
+  void init_node(const ClusterConfig& config, u32 rank);
+
   const ClusterConfig* config_;
   u32 rank_;
   VirtualClock clock_;

@@ -47,9 +47,15 @@ void Communicator::send_internal(u32 dst, int tag,
 
 void Communicator::deliver_payload(VirtualClock& clk, u32 dst, int tag,
                                    std::vector<u8>&& payload) {
+  // Mailbox contents live in physical/wire space: source is the sender's
+  // fabric rank and the tag carries the group's tag_base shift, so two
+  // groups sharing a mailbox can never match each other's packets.  Both
+  // translations are the identity without a group.
+  const u32 dst_g = to_global(dst);
+  const int wire_tag = to_wire_tag(tag);
   Packet p;
-  p.source = static_cast<int>(rank_);
-  p.tag = tag;
+  p.source = static_cast<int>(to_global(rank_));
+  p.tag = wire_tag;
   p.payload = std::move(payload);
   ++stats_.messages_sent;
   stats_.bytes_sent += p.payload.size();
@@ -58,7 +64,7 @@ void Communicator::deliver_payload(VirtualClock& clk, u32 dst, int tag,
     // exempts self-sends (a thread cannot lose a message to itself).
     ++stats_.self_deliveries;
     p.arrival_time = clk.now();
-    fabric_->mailbox(dst).deliver(std::move(p));
+    fabric_->mailbox(dst_g).deliver(std::move(p));
     return;
   }
   const NetworkModel& net = fabric_->model();
@@ -68,11 +74,11 @@ void Communicator::deliver_payload(VirtualClock& clk, u32 dst, int tag,
     if (net_faults_) {
       const auto& spec = fault_->plan().net;
       fault::FaultCounters& c = fault_->counters();
-      const u64 seq = send_seq_[stream_key(dst, tag)]++;
+      const u64 seq = send_seq_[stream_key(dst_g, wire_tag)]++;
       // Drops are sensed at the sender (the simulation stands in for the
       // ack timeout): each lost copy costs the timeout wait plus a full
       // retransmission before the surviving copy goes out below.
-      const u32 drops = fault_->frame_drops(dst, tag, seq);
+      const u32 drops = fault_->frame_drops(dst_g, wire_tag, seq);
       for (u32 k = 0; k < drops; ++k) {
         ++c.net_frames_dropped;
         ++c.net_retransmits;
@@ -81,7 +87,7 @@ void Communicator::deliver_payload(VirtualClock& clk, u32 dst, int tag,
         fault_->note_event("fault.net.retransmit", clk.now());
       }
       double delay = 0.0;
-      if (fault_->frame_delayed(dst, tag, seq)) {
+      if (fault_->frame_delayed(dst_g, wire_tag, seq)) {
         ++c.net_frames_delayed;
         delay = spec.delay_seconds;
       }
@@ -89,8 +95,8 @@ void Communicator::deliver_payload(VirtualClock& clk, u32 dst, int tag,
       // logical payloads, because empty frames (pipelined EOS markers and
       // tail acks) may legitimately never be consumed, and an unconsumed
       // duplicate would never meet its discarding receiver.
-      const bool dup =
-          !p.payload.empty() && fault_->frame_duplicated(dst, tag, seq);
+      const bool dup = !p.payload.empty() &&
+                       fault_->frame_duplicated(dst_g, wire_tag, seq);
       frame_payload(p.payload, seq);
       clk.advance(net.per_message_overhead_seconds + wire);
       p.arrival_time = clk.now() + net.latency_seconds + delay;
@@ -106,11 +112,11 @@ void Communicator::deliver_payload(VirtualClock& clk, u32 dst, int tag,
         // consume the original and finish before the duplicate exists.
         clk.advance(net.per_message_overhead_seconds + wire);
         copy.arrival_time = clk.now() + net.latency_seconds + delay;
-        fabric_->mailbox(dst).deliver_with_duplicate(std::move(p),
-                                                     std::move(copy));
+        fabric_->mailbox(dst_g).deliver_with_duplicate(std::move(p),
+                                                       std::move(copy));
         return;
       }
-      fabric_->mailbox(dst).deliver(std::move(p));
+      fabric_->mailbox(dst_g).deliver(std::move(p));
       return;
     }
   }
@@ -118,7 +124,7 @@ void Communicator::deliver_payload(VirtualClock& clk, u32 dst, int tag,
   // occupancy; the packet lands one latency after it left.
   clk.advance(net.per_message_overhead_seconds + wire);
   p.arrival_time = clk.now() + net.latency_seconds;
-  fabric_->mailbox(dst).deliver(std::move(p));
+  fabric_->mailbox(dst_g).deliver(std::move(p));
 }
 
 void Communicator::isend_payload(VirtualClock& clk, u32 dst, int tag,
@@ -129,16 +135,18 @@ void Communicator::isend_payload(VirtualClock& clk, u32 dst, int tag,
 }
 
 void Communicator::charge_receive(VirtualClock& clk, const Packet& p) {
+  // Runs on packets still in wire space: p.source is a fabric rank.
   ++stats_.messages_received;
   stats_.bytes_received += p.payload.size();
   clk.merge(p.arrival_time);
-  if (p.source != static_cast<int>(rank_)) {
+  if (p.source != static_cast<int>(to_global(rank_))) {
     clk.advance(fabric_->model().per_message_overhead_seconds);
   }
 }
 
 bool Communicator::unframe_accept(Packet& p) {
-  if (p.source == static_cast<int>(rank_)) return true;  // never framed
+  // Wire space: never framed when the sender is this node itself.
+  if (p.source == static_cast<int>(to_global(rank_))) return true;
   const u64 seq = frame_seq(p);
   u64& expected = recv_seq_[stream_key(static_cast<u32>(p.source), p.tag)];
   if (seq < expected) {
@@ -171,8 +179,9 @@ u64 Communicator::drain_discard_dups() {
   // stream's expected seq) therefore exposes every trailing duplicate as
   // seq < expected, exactly like the in-band discard.
   while (std::optional<Packet> p =
-             fabric_->mailbox(rank_).try_receive(kAnySource, kAnyTag)) {
-    if (p->source == static_cast<int>(rank_)) continue;
+             fabric_->mailbox(to_global(rank_))
+                 .try_receive(kAnySource, kAnyTag)) {
+    if (p->source == static_cast<int>(to_global(rank_))) continue;
     const u64 seq = frame_seq(*p);
     u64& expected = recv_seq_[stream_key(static_cast<u32>(p->source), p->tag)];
     if (seq < expected) {
@@ -192,11 +201,14 @@ Packet Communicator::recv_packet(u32 src, int tag) {
 Packet Communicator::recv_packet_on(VirtualClock& clk, u32 src, int tag) {
   PALADIN_EXPECTS(src < size());
   for (;;) {
-    Packet p = fabric_->mailbox(rank_).receive(static_cast<int>(src), tag);
+    Packet p = fabric_->mailbox(to_global(rank_))
+                   .receive(static_cast<int>(to_global(src)),
+                            to_wire_tag(tag));
     if constexpr (fault::kCompiledIn) {
       if (net_faults_ && !unframe_accept(p)) continue;
     }
     charge_receive(clk, p);
+    localize_packet(p);
     return p;
   }
 }
@@ -206,12 +218,14 @@ std::optional<Packet> Communicator::try_recv_packet_on(VirtualClock& clk,
   PALADIN_EXPECTS(src < size());
   for (;;) {
     std::optional<Packet> p =
-        fabric_->mailbox(rank_).try_receive(static_cast<int>(src), tag);
+        fabric_->mailbox(to_global(rank_))
+            .try_receive(static_cast<int>(to_global(src)), to_wire_tag(tag));
     if (!p.has_value()) return std::nullopt;
     if constexpr (fault::kCompiledIn) {
       if (net_faults_ && !unframe_accept(*p)) continue;
     }
     charge_receive(clk, *p);
+    localize_packet(*p);
     return p;
   }
 }
@@ -240,11 +254,14 @@ void Communicator::barrier() {
 
 Packet Communicator::recv_internal(u32 src, int tag) {
   for (;;) {
-    Packet p = fabric_->mailbox(rank_).receive(static_cast<int>(src), tag);
+    Packet p = fabric_->mailbox(to_global(rank_))
+                   .receive(static_cast<int>(to_global(src)),
+                            to_wire_tag(tag));
     if constexpr (fault::kCompiledIn) {
       if (net_faults_ && !unframe_accept(p)) continue;
     }
     charge_receive(*clock_, p);
+    localize_packet(p);
     return p;
   }
 }

@@ -16,6 +16,7 @@
 #include <span>
 #include <stdexcept>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "base/contracts.h"
@@ -71,6 +72,26 @@ class Fabric {
   BufferPool pool_;
 };
 
+/// A rank/tag namespace over a subset of a Fabric's mailboxes — the unit
+/// of multi-job multiplexing (src/service).  A Communicator constructed
+/// with a group sees a `ranks.size()`-node cluster: its local rank r maps
+/// to physical mailbox `ranks[r]`, and every tag is shifted by `tag_base`
+/// on the wire (non-negative user tags up, reserved negative collective
+/// tags down), so two groups with distinct tag bases can never consume
+/// each other's packets even when they time-share the same mailboxes.
+/// An absent group (the default) is the identity mapping with tag_base 0 —
+/// the original single-job behaviour, bit for bit.
+struct CommGroup {
+  /// Physical fabric ranks, indexed by group-local rank.  Must be distinct
+  /// and within the fabric; need not be sorted or contiguous.
+  std::vector<u32> ranks;
+  /// Wire-tag offset; choose a distinct multiple of a stride wider than
+  /// any tag an algorithm uses (service uses 1024) per concurrent group.
+  /// Shifted tags stay clear of the mailbox wildcard kAnyTag == -1 for
+  /// any non-negative base.
+  int tag_base = 0;
+};
+
 /// Per-rank traffic totals, maintained on the two funnels every send and
 /// receive already pass through (deliver_payload / charge_receive), so the
 /// counts cannot diverge from the cost arithmetic.  Self-deliveries are
@@ -91,8 +112,21 @@ class Communicator {
     PALADIN_EXPECTS(rank < fabric.size());
   }
 
+  /// Group-scoped communicator: `rank` is group-local, all mailbox and tag
+  /// traffic is translated through `group` (see CommGroup).
+  Communicator(Fabric& fabric, u32 rank, VirtualClock& clock, CommGroup group)
+      : fabric_(&fabric), rank_(rank), clock_(&clock),
+        group_(std::move(group)) {
+    PALADIN_EXPECTS(!group_->ranks.empty());
+    PALADIN_EXPECTS(rank < group_->ranks.size());
+    for (u32 g : group_->ranks) PALADIN_EXPECTS(g < fabric.size());
+    PALADIN_EXPECTS(group_->tag_base >= 0);
+  }
+
   u32 rank() const { return rank_; }
-  u32 size() const { return fabric_->size(); }
+  u32 size() const {
+    return group_ ? static_cast<u32>(group_->ranks.size()) : fabric_->size();
+  }
   VirtualClock& clock() { return *clock_; }
 
   /// Point-to-point send.  Advances the sender's clock by the wire
@@ -126,15 +160,17 @@ class Communicator {
 
   /// Delivery counter of this rank's inbox; pair with
   /// wait_any_delivery_beyond() for a sleep-until-anything-arrives wait.
-  u64 inbox_deliveries() const { return fabric_->mailbox(rank_).deliveries(); }
+  u64 inbox_deliveries() const {
+    return fabric_->mailbox(to_global(rank_)).deliveries();
+  }
   void wait_any_delivery_beyond(u64 seen) {
-    fabric_->mailbox(rank_).wait_deliveries_beyond(seen);
+    fabric_->mailbox(to_global(rank_)).wait_deliveries_beyond(seen);
   }
 
   /// High-water mark of payload bytes queued in this rank's inbox — the
   /// observable the flow-control stress test pins.
   u64 inbox_peak_bytes() const {
-    return fabric_->mailbox(rank_).max_pending_bytes();
+    return fabric_->mailbox(to_global(rank_)).max_pending_bytes();
   }
 
   /// Shared payload-buffer pool of the fabric.
@@ -285,6 +321,49 @@ class Communicator {
   static constexpr int kTagReduce = -6;
 
  private:
+  // -- Group translation (identity when no group is attached). -----------
+  //
+  // All ranks an algorithm sees are group-local; the mailbox array, the
+  // Packet::source field inside mailboxes, and the fault layer's stream
+  // keys are physical/wire space.  Translation happens exactly at the two
+  // funnels (deliver_payload / the receive loops), so the algorithms and
+  // the collectives above stay group-oblivious.
+
+  /// Group-local rank → physical fabric rank.
+  u32 to_global(u32 local) const {
+    return group_ ? group_->ranks[local] : local;
+  }
+  /// Physical fabric rank → group-local rank.  The peer must be a member
+  /// (tag namespacing guarantees only group traffic is ever matched).
+  u32 to_local(u32 global) const {
+    if (!group_) return global;
+    for (u32 i = 0; i < group_->ranks.size(); ++i) {
+      if (group_->ranks[i] == global) return i;
+    }
+    PALADIN_ASSERT(false);
+    return global;
+  }
+  /// Logical tag → wire tag: user tags shift up by tag_base, reserved
+  /// negative collective tags shift down (both injective, and a wire tag
+  /// never equals the kAnyTag wildcard for a non-negative base).
+  int to_wire_tag(int tag) const {
+    if (!group_) return tag;
+    return tag >= 0 ? tag + group_->tag_base : tag - group_->tag_base;
+  }
+  /// Wire tag → logical tag (inverse of to_wire_tag).
+  int to_logical_tag(int tag) const {
+    if (!group_) return tag;
+    return tag >= group_->tag_base ? tag - group_->tag_base
+                                   : tag + group_->tag_base;
+  }
+  /// Wire space → group space, applied to every packet handed back to the
+  /// algorithm (after the wire-space accounting in charge_receive).
+  void localize_packet(Packet& p) const {
+    if (!group_) return;
+    p.source = static_cast<int>(to_local(static_cast<u32>(p.source)));
+    p.tag = to_logical_tag(p.tag);
+  }
+
   // Internal point-to-point used by collectives (reserved negative tags).
   void send_internal(u32 dst, int tag, std::span<const u8> bytes);
   Packet recv_internal(u32 src, int tag);
@@ -394,6 +473,8 @@ class Communicator {
   Fabric* fabric_;
   u32 rank_;
   VirtualClock* clock_;
+  /// Rank/tag namespace; absent = identity over the whole fabric.
+  std::optional<CommGroup> group_;
   CommStats stats_;
   fault::FaultInjector* fault_ = nullptr;
   bool net_faults_ = false;  ///< cached fault_->plan().net_active()

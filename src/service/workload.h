@@ -1,0 +1,53 @@
+// Deterministic open-arrival workloads for the sort service.  Every
+// parameter of every job is a pure hash of (spec seed, job index, field
+// name) — the fault layer's determinism idiom (src/fault/fault.h) applied
+// to traffic generation — so a workload replays bitwise from its seed
+// alone and a single job reconstructs from its index.  Arrival times are
+// the prefix sums of hashed exponential inter-arrival draws (an
+// open-arrival, Poisson-like process on the virtual-time axis).
+#pragma once
+
+#include <vector>
+
+#include "base/types.h"
+#include "service/job.h"
+
+namespace paladin::service {
+
+/// Shape of a generated workload.  The defaults describe the bench's
+/// small-job traffic; a pathological job (huge n, zipf, full width) can
+/// be injected at a fixed cadence for the isolation experiments.
+struct OpenArrivalSpec {
+  u64 seed = 2026;
+  u64 job_count = 16;
+  /// Mean of the exponential inter-arrival time, virtual seconds.
+  double mean_interarrival_s = 100.0;
+  /// Small-job size range [min_records, max_records], uniform.
+  u64 min_records = u64{1} << 12;
+  u64 max_records = u64{1} << 14;
+  /// Fraction of jobs requesting the full cluster (the rest draw a width
+  /// in [1, cluster_width/2]).
+  double wide_fraction = 0.25;
+  /// Sample all four backends per job (false pins ext-psrs).
+  bool mixed_backends = true;
+  /// Fraction of jobs carrying 100-byte Datamation records instead of the
+  /// paper's 4-byte keys.
+  double datamation_fraction = 0.0;
+  /// Every k-th job (1-based; 0 disables) is pathological: records =
+  /// pathological_records, zipf keys, full width, 4-byte records.
+  u64 pathological_every = 0;
+  u64 pathological_records = u64{1} << 18;
+};
+
+/// Deterministic per-decision draw: a pure hash of (seed, job, what).
+u64 workload_draw(u64 seed, u64 job, std::string_view what);
+
+/// Uniform double in [0, 1) from one draw.
+double workload_draw_unit(u64 seed, u64 job, std::string_view what);
+
+/// Generates `spec.job_count` jobs with ids 0..count-1 in arrival order.
+/// Pure function of (spec, cluster_width).
+std::vector<JobSpec> open_arrival_workload(const OpenArrivalSpec& spec,
+                                           u32 cluster_width);
+
+}  // namespace paladin::service

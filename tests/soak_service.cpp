@@ -1,0 +1,133 @@
+// Service soak tier (ctest label `soak`): a seeded sweep of two-job
+// workloads through the sort service, over random cluster shapes, both
+// scheduling policies, mixed backends and occasional pathological jobs.
+// Every case asserts that all jobs verify (order + permutation, via the
+// service's own layout-aware check) and that arrival order is respected;
+// a slice of the cases re-runs the whole workload and pins the
+// service-report JSON bitwise.
+//
+// Sized by PALADIN_SOAK_ITERS (default 48 cases, two shards).  On failure
+// the assertion message carries a one-line repro:
+//   PALADIN_SOAK_REPRO case=<i> p=... perf=[...] policy=... wlseed=...
+//   jobs=2 recs=[min,max] patho=<0|1>
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "service/service.h"
+#include "service/workload.h"
+#include "test_params.h"
+
+namespace paladin::service {
+namespace {
+
+u64 soak_case_count() {
+  if (const char* env = std::getenv("PALADIN_SOAK_ITERS")) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<u64>(v);
+  }
+  return 48;
+}
+
+struct SoakCase {
+  u64 index;
+  std::vector<u32> perf;
+  SchedulePolicy policy = SchedulePolicy::kFifo;
+  OpenArrivalSpec workload;
+  std::string repro;
+};
+
+/// Deterministic case parameters: a pure function of the case index, so a
+/// failing case replays from its index alone.  New draws must be appended
+/// at the end so earlier cases keep their parameters.
+SoakCase make_case(u64 index) {
+  SplitMix64 gen(0x5e2'71ceULL + index * 0x9e3779b97f4a7c15ULL);
+  SoakCase c;
+  c.index = index;
+  const u32 p = 2 + static_cast<u32>(gen.next() % 3);
+  for (u32 i = 0; i < p; ++i) {
+    c.perf.push_back(1 + static_cast<u32>(gen.next() % 4));
+  }
+  c.policy = (gen.next() % 2 == 0) ? SchedulePolicy::kFifo
+                                   : SchedulePolicy::kFairShare;
+  c.workload.seed = gen.next();
+  c.workload.job_count = 2;
+  c.workload.min_records = 300 + gen.next() % 300;
+  c.workload.max_records = c.workload.min_records + 300;
+  c.workload.mean_interarrival_s = 1.0 + static_cast<double>(gen.next() % 50);
+  c.workload.mixed_backends = true;
+  c.workload.datamation_fraction = 0.25;
+  // Every 8th case pairs a pathological zipf job with a small one — the
+  // isolation scenario, at soak scale.
+  if (index % 8 == 7) {
+    c.workload.pathological_every = 2;
+    c.workload.pathological_records = 4000;
+  }
+
+  std::ostringstream repro;
+  repro << "PALADIN_SOAK_REPRO case=" << index << " p=" << p << " perf=[";
+  for (u32 i = 0; i < p; ++i) repro << (i ? "," : "") << c.perf[i];
+  repro << "] policy=" << to_string(c.policy)
+        << " wlseed=" << c.workload.seed << " jobs=2 recs=["
+        << c.workload.min_records << "," << c.workload.max_records
+        << "] patho=" << (c.workload.pathological_every != 0 ? 1 : 0);
+  c.repro = repro.str();
+  return c;
+}
+
+ServiceReport run_case(const SoakCase& c) {
+  ServiceConfig sc;
+  sc.cluster.perf = c.perf;
+  sc.cluster.disk = test_params::tiny_blocks();
+  // Workloads mix 4- and 100-byte records; blocks must hold whole records
+  // of either width (4 Datamation records / 100 keys per block).
+  sc.cluster.disk.block_bytes = 400;
+  sc.policy = c.policy;
+  sc.seed = c.workload.seed ^ 0x5eedULL;
+  sc.sort.sequential.memory_records = test_params::kMemoryRecords;
+  sc.sort.sequential.tape_count = test_params::kTapeCount;
+  sc.sort.sequential.allow_in_memory = false;
+  sc.sort.message_records = test_params::kMessageRecords;
+  SortService svc(sc);
+  return svc.run(open_arrival_workload(
+      c.workload, static_cast<u32>(c.perf.size())));
+}
+
+void run_shard(u64 first, u64 last) {
+  for (u64 i = first; i < last; ++i) {
+    const SoakCase c = make_case(i);
+    SCOPED_TRACE(c.repro);
+    const ServiceReport report = run_case(c);
+    ASSERT_EQ(report.jobs.size(), 2u);
+    ASSERT_TRUE(report.rejected.empty());
+    for (const JobReport& j : report.jobs) {
+      ASSERT_TRUE(j.ok);
+      ASSERT_NE(j.digest, 0u);
+      ASSERT_GE(j.start_s, j.arrival_s);
+      ASSERT_GT(j.finish_s, j.start_s);
+    }
+    ASSERT_GT(report.makespan_s, 0.0);
+    // Every 10th case: the whole workload replays bitwise.
+    if (i % 10 == 0) {
+      const ServiceReport again = run_case(c);
+      ASSERT_EQ(service_report_json(report), service_report_json(again));
+    }
+  }
+}
+
+TEST(ServiceSoak, SweepShardA) {
+  const u64 n = soak_case_count();
+  run_shard(0, n / 2);
+}
+
+TEST(ServiceSoak, SweepShardB) {
+  const u64 n = soak_case_count();
+  run_shard(n / 2, n);
+}
+
+}  // namespace
+}  // namespace paladin::service

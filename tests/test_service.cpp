@@ -1,0 +1,391 @@
+// The sort-as-a-service contract (docs/SERVICE.md):
+//
+//  * bit-identity — a single-job service run produces the same digest, the
+//    same virtual finish time and a byte-identical RunReport JSON as a
+//    direct net::Cluster run of the same (config, seed) around
+//    core::parallel_external_sort — the service adds scheduling, not
+//    simulation;
+//  * scheduler edge cases — empty workload, simultaneous arrivals
+//    (priority then id), more jobs than nodes, mixed backends (including
+//    the bucket-file output layout), Datamation records;
+//  * policies — FIFO is exclusive (no overlap in virtual time); fair-share
+//    caps widths at half the cluster and overlaps a small job with a
+//    monster, bounding the small job's latency;
+//  * determinism — a replayed workload serialises byte-identically;
+//  * admission — rejections carry reasons, widths clamp, sizes round up to
+//    the slice's admissible n.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/sort_driver.h"
+#include "core/verify.h"
+#include "hetero/perf_vector.h"
+#include "net/cluster.h"
+#include "service/service.h"
+#include "service/workload.h"
+#include "test_params.h"
+#include "workload/datamation.h"
+#include "workload/generators.h"
+
+namespace paladin::service {
+namespace {
+
+using core::ParallelSortAlgorithm;
+using workload::Dist;
+
+ServiceConfig tiny_service(std::vector<u32> perf, SchedulePolicy policy) {
+  ServiceConfig sc;
+  sc.cluster.perf = std::move(perf);
+  sc.cluster.disk = test_params::tiny_blocks();
+  sc.policy = policy;
+  sc.sort.sequential.memory_records = test_params::kMemoryRecords;
+  sc.sort.sequential.tape_count = test_params::kTapeCount;
+  sc.sort.sequential.allow_in_memory = false;
+  sc.sort.message_records = test_params::kMessageRecords;
+  return sc;
+}
+
+JobSpec small_job(u64 id, u64 records, double arrival = 0.0) {
+  JobSpec j;
+  j.id = id;
+  j.records = records;
+  j.arrival_s = arrival;
+  return j;
+}
+
+TEST(ServiceJob, PolicyNamesRoundTrip) {
+  for (const SchedulePolicy p : kAllPolicies) {
+    const auto back = try_parse_policy(to_string(p));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, p);
+  }
+  EXPECT_FALSE(try_parse_policy("round-robin").has_value());
+  EXPECT_NE(policy_names().find("fifo"), std::string::npos);
+  EXPECT_NE(policy_names().find("fair-share"), std::string::npos);
+}
+
+TEST(ServiceJob, AdmissionRejectsAndNormalizes) {
+  AdmissionPolicy policy;
+  // Zero records.
+  EXPECT_FALSE(admit(small_job(0, 0), 4, policy, 1).admitted);
+  // Over the records cap, with the numbers in the reason.
+  policy.max_records = 1000;
+  const AdmissionDecision big = admit(small_job(1, 2000), 4, policy, 1);
+  EXPECT_FALSE(big.admitted);
+  EXPECT_NE(big.reason.find("2000"), std::string::npos);
+  policy.max_records = u64{1} << 31;
+  // Unsupported record width.
+  JobSpec odd = small_job(2, 100);
+  odd.record_bytes = 8;
+  EXPECT_FALSE(admit(odd, 4, policy, 1).admitted);
+  // Empty perf resolves to the full cluster; oversized widths clamp.
+  EXPECT_EQ(admit(small_job(3, 100), 4, policy, 1).normalized.requested_width(),
+            4u);
+  JobSpec wide = small_job(4, 100);
+  wide.perf.assign(9, 1);
+  EXPECT_EQ(admit(wide, 4, policy, 1).normalized.requested_width(), 4u);
+  policy.max_width = 2;
+  EXPECT_EQ(admit(wide, 4, policy, 1).normalized.requested_width(), 2u);
+  // Zero seed derives a nonzero one, deterministically per (seed, id).
+  const AdmissionDecision a = admit(small_job(5, 100), 4, policy, 7);
+  const AdmissionDecision b = admit(small_job(5, 100), 4, policy, 7);
+  EXPECT_NE(a.normalized.seed, 0u);
+  EXPECT_EQ(a.normalized.seed, b.normalized.seed);
+  JobSpec seeded = small_job(6, 100);
+  seeded.seed = 99;
+  EXPECT_EQ(admit(seeded, 4, policy, 7).normalized.seed, 99u);
+}
+
+TEST(ServiceScheduler, EmptyWorkload) {
+  SortService svc(tiny_service({2, 1}, SchedulePolicy::kFifo));
+  const ServiceReport report = svc.run({});
+  EXPECT_TRUE(report.jobs.empty());
+  EXPECT_TRUE(report.rejected.empty());
+  EXPECT_EQ(report.makespan_s, 0.0);
+  EXPECT_TRUE(report.all_ok());
+  EXPECT_EQ(report.jobs_per_vsecond(), 0.0);
+  EXPECT_NE(service_report_json(report).find("\"job_count\":0"),
+            std::string::npos);
+}
+
+// The tentpole proof: one job through the service is bit-identical to the
+// same sort run directly through net::Cluster — same digest, same virtual
+// makespan, byte-identical RunReport JSON (spans, counters, IoStats).
+TEST(ServiceScheduler, SingleJobBitIdenticalToDirectRun) {
+  constexpr u64 kSeed = 777;
+  constexpr u64 kRecords = 5000;  // admissible on {4,4,1,1}: 5000 % 10 == 0
+
+  ServiceConfig sc = tiny_service({4, 4, 1, 1}, SchedulePolicy::kFifo);
+  sc.cluster.observe = true;
+  JobSpec job = small_job(3, kRecords);
+  job.seed = kSeed;
+
+  SortService svc(sc);
+  const ServiceReport report = svc.run({job});
+  ASSERT_EQ(report.jobs.size(), 1u);
+  const JobReport& jr = report.jobs[0];
+  ASSERT_TRUE(jr.ok);
+  EXPECT_EQ(jr.records, kRecords);
+  EXPECT_EQ(jr.start_s, 0.0);
+  EXPECT_EQ(jr.nodes, (std::vector<u32>{0, 1, 2, 3}));
+
+  // The direct run: net::Cluster with the same config and seed, the node
+  // body performing operation-for-operation what the service's per-node
+  // body does (input generation, sort, order + permutation verification).
+  net::ClusterConfig cc;
+  cc.perf = {4, 4, 1, 1};
+  cc.disk = test_params::tiny_blocks();
+  cc.seed = kSeed;
+  cc.observe = true;
+  net::Cluster cluster(cc);
+
+  const hetero::PerfVector perf(cc.perf);
+  core::ParallelSortConfig psc = sc.sort;
+  psc.algorithm = ParallelSortAlgorithm::kExtPsrs;
+  psc.input = "job3.input";
+  psc.output = "job3.sorted";
+
+  workload::WorkloadSpec wspec;
+  wspec.dist = Dist::kUniform;
+  wspec.total_records = kRecords;
+  wspec.node_count = 4;
+  wspec.seed = kSeed;
+
+  struct Verdict {
+    u64 digest = 0;
+    u8 ok = 0;
+  };
+  auto outcome = cluster.run([&](net::NodeContext& ctx) -> Verdict {
+    const u32 i = ctx.rank();
+    workload::write_share(wspec, i, perf.share_offset(i, kRecords),
+                          perf.share(i, kRecords), ctx.disk(), psc.input);
+    const MultisetChecksum before =
+        core::file_checksum<DefaultKey>(ctx.disk(), psc.input);
+    core::parallel_external_sort<DefaultKey>(ctx, perf, psc);
+    const bool order_ok =
+        core::verify_global_order<DefaultKey>(ctx, psc.output);
+    MultisetChecksum after =
+        core::file_checksum<DefaultKey>(ctx.disk(), psc.output);
+    struct Pair {
+      MultisetChecksum before, after;
+    };
+    Pair mine{before, after};
+    std::vector<Pair> all = ctx.comm().template gather_records<Pair>(
+        std::span<const Pair>(&mine, 1), 0);
+    Verdict v;
+    if (ctx.comm().rank() == 0) {
+      MultisetChecksum b, a;
+      for (const Pair& pr : all) {
+        b.merge(pr.before);
+        a.merge(pr.after);
+      }
+      v.ok = (b == a && a.count() == kRecords) ? 1 : 0;
+      v.digest = a.digest();
+    }
+    v = ctx.comm().template bcast_value<Verdict>(v, 0);
+    v.ok = static_cast<u8>((v.ok != 0 && order_ok) ? 1 : 0);
+    return v;
+  });
+
+  ASSERT_TRUE(outcome.results[0].ok != 0);
+  EXPECT_EQ(jr.digest, outcome.results[0].digest);
+  EXPECT_EQ(jr.finish_s, outcome.makespan);  // exact double equality
+
+  // Byte-identical observability: same spans, counters, IoStats.
+  if (!obs::kCompiledIn) return;
+  obs::ClusterTrace via_service;
+  via_service.makespan = jr.finish_s;
+  for (const net::NodeReport& n : jr.node_reports) {
+    ASSERT_TRUE(n.trace != nullptr);
+    via_service.nodes.push_back(*n.trace);
+  }
+  const obs::ClusterTrace direct = core::collect_cluster_trace(outcome);
+  EXPECT_EQ(obs::run_report_json(via_service), obs::run_report_json(direct));
+}
+
+TEST(ServiceScheduler, SimultaneousArrivalsOrderByPriorityThenId) {
+  SortService svc(tiny_service({2, 1}, SchedulePolicy::kFifo));
+  JobSpec a = small_job(10, 600);
+  a.priority = 1;
+  JobSpec b = small_job(12, 600);
+  JobSpec c = small_job(11, 600);
+  const ServiceReport report = svc.run({a, b, c});
+  ASSERT_EQ(report.jobs.size(), 3u);
+  EXPECT_TRUE(report.all_ok());
+  // Same arrival: priority 0 first (ids ascending), then priority 1.
+  EXPECT_EQ(report.jobs[0].spec.id, 11u);
+  EXPECT_EQ(report.jobs[1].spec.id, 12u);
+  EXPECT_EQ(report.jobs[2].spec.id, 10u);
+}
+
+TEST(ServiceScheduler, MoreJobsThanNodesFifoIsExclusive) {
+  SortService svc(tiny_service({2, 1}, SchedulePolicy::kFifo));
+  std::vector<JobSpec> jobs;
+  for (u64 j = 0; j < 5; ++j) {
+    jobs.push_back(small_job(j, 600 + 60 * j, 0.01 * static_cast<double>(j)));
+  }
+  const ServiceReport report = svc.run(jobs);
+  ASSERT_EQ(report.jobs.size(), 5u);
+  EXPECT_TRUE(report.all_ok());
+  for (std::size_t i = 1; i < report.jobs.size(); ++i) {
+    // Exclusive service: nobody starts before the previous job finished.
+    EXPECT_GE(report.jobs[i].start_s, report.jobs[i - 1].finish_s);
+  }
+  EXPECT_EQ(report.makespan_s, report.jobs.back().finish_s);
+  // Sizes round up to the slice's admissible n (sum(perf) = 3 here).
+  for (const JobReport& j : report.jobs) {
+    EXPECT_EQ(j.records % 3, 0u);
+    EXPECT_GE(j.records, j.spec.records);
+  }
+}
+
+TEST(ServiceScheduler, MixedBackendsAllVerify) {
+  SortService svc(tiny_service({4, 2, 1, 1}, SchedulePolicy::kFifo));
+  std::vector<JobSpec> jobs;
+  u64 id = 0;
+  for (const ParallelSortAlgorithm algo : core::kAllAlgorithms) {
+    JobSpec j = small_job(id, 800 + 80 * id, 0.02 * static_cast<double>(id));
+    j.algorithm = algo;
+    j.dist = Dist::kZipf;  // duplicate-heavy, adversarial for samplers
+    jobs.push_back(j);
+    ++id;
+  }
+  const ServiceReport report = svc.run(jobs);
+  ASSERT_EQ(report.jobs.size(), std::size(core::kAllAlgorithms));
+  for (const JobReport& j : report.jobs) {
+    EXPECT_TRUE(j.ok) << core::to_string(j.spec.algorithm);
+    EXPECT_NE(j.digest, 0u);
+    EXPECT_GT(j.io.blocks_written, 0u);
+  }
+}
+
+TEST(ServiceScheduler, DatamationRecordsSort) {
+  ServiceConfig sc = tiny_service({2, 1}, SchedulePolicy::kFifo);
+  sc.cluster.disk.block_bytes = 1000;  // 10 wide records per block
+  SortService svc(sc);
+  JobSpec j = small_job(0, 300);
+  j.record_bytes = sizeof(workload::DatamationRecord);
+  const ServiceReport report = svc.run({j});
+  ASSERT_EQ(report.jobs.size(), 1u);
+  EXPECT_TRUE(report.jobs[0].ok);
+  EXPECT_EQ(report.jobs[0].spec.record_bytes, 100u);
+}
+
+// Fair-share's isolation mechanism: the monster is width-capped to half
+// the cluster, so the small job runs beside it on the remaining nodes —
+// its start precedes the monster's finish (overlap in virtual time), which
+// FIFO structurally cannot do.
+TEST(ServicePolicy, FairShareOverlapsSmallJobWithMonster) {
+  JobSpec monster = small_job(0, 20000);
+  monster.dist = Dist::kZipf;
+  JobSpec little = small_job(1, 600, 1e-3);
+
+  SortService fifo(tiny_service({4, 4, 1, 1}, SchedulePolicy::kFifo));
+  const ServiceReport r_fifo = fifo.run({monster, little});
+  ASSERT_EQ(r_fifo.jobs.size(), 2u);
+  EXPECT_TRUE(r_fifo.all_ok());
+  EXPECT_EQ(r_fifo.jobs[0].nodes.size(), 4u);
+  EXPECT_GE(r_fifo.jobs[1].start_s, r_fifo.jobs[0].finish_s);
+
+  SortService fair(tiny_service({4, 4, 1, 1}, SchedulePolicy::kFairShare));
+  const ServiceReport r_fair = fair.run({monster, little});
+  ASSERT_EQ(r_fair.jobs.size(), 2u);
+  EXPECT_TRUE(r_fair.all_ok());
+  // Width cap: no job holds more than half the cluster.
+  EXPECT_EQ(r_fair.jobs[0].nodes.size(), 2u);
+  EXPECT_EQ(r_fair.jobs[1].nodes.size(), 2u);
+  // The small job starts on the free nodes while the monster still runs.
+  EXPECT_LT(r_fair.jobs[1].start_s, r_fair.jobs[0].finish_s);
+  EXPECT_EQ(r_fair.jobs[1].nodes, (std::vector<u32>{2, 3}));
+  // And its latency is bounded by the overlap.
+  EXPECT_LT(r_fair.jobs[1].latency_s(), r_fifo.jobs[1].latency_s());
+}
+
+TEST(ServiceDeterminism, ReplayedWorkloadSerialisesByteIdentically) {
+  OpenArrivalSpec wspec;
+  wspec.job_count = 6;
+  wspec.min_records = 600;
+  wspec.max_records = 1200;
+  wspec.mean_interarrival_s = 10.0;
+  const std::vector<JobSpec> jobs = open_arrival_workload(wspec, 4);
+
+  auto run_once = [&] {
+    SortService svc(tiny_service({4, 4, 1, 1}, SchedulePolicy::kFairShare));
+    return service_report_json(svc.run(jobs));
+  };
+  const std::string first = run_once();
+  const std::string second = run_once();
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find("\"schema\":\"paladin.service_report.v1\""),
+            std::string::npos);
+}
+
+TEST(ServiceWorkload, OpenArrivalIsPureAndMonotone) {
+  OpenArrivalSpec spec;
+  spec.job_count = 32;
+  spec.pathological_every = 8;
+  spec.datamation_fraction = 0.25;
+  const std::vector<JobSpec> a = open_arrival_workload(spec, 4);
+  const std::vector<JobSpec> b = open_arrival_workload(spec, 4);
+  ASSERT_EQ(a.size(), 32u);
+  double prev = 0.0;
+  u64 pathological = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, i);
+    EXPECT_EQ(a[i].records, b[i].records);
+    EXPECT_EQ(a[i].arrival_s, b[i].arrival_s);
+    EXPECT_EQ(a[i].dist, b[i].dist);
+    EXPECT_EQ(a[i].algorithm, b[i].algorithm);
+    EXPECT_GE(a[i].arrival_s, prev);
+    prev = a[i].arrival_s;
+    if ((i + 1) % 8 == 0) {
+      ++pathological;
+      EXPECT_EQ(a[i].dist, Dist::kZipf);
+      EXPECT_EQ(a[i].records, spec.pathological_records);
+      EXPECT_TRUE(a[i].perf.empty());  // wants the whole cluster
+    } else {
+      EXPECT_GE(a[i].records, spec.min_records);
+      EXPECT_LE(a[i].records, spec.max_records);
+    }
+  }
+  EXPECT_EQ(pathological, 4u);
+}
+
+TEST(ServiceReportJson, CarriesJobsAndRejections) {
+  ServiceConfig sc = tiny_service({2, 1}, SchedulePolicy::kFifo);
+  sc.admission.max_records = 1000;
+  SortService svc(sc);
+  JobSpec ok_job = small_job(0, 600);
+  JobSpec too_big = small_job(1, 5000);
+  const ServiceReport report = svc.run({ok_job, too_big});
+  ASSERT_EQ(report.jobs.size(), 1u);
+  ASSERT_EQ(report.rejected.size(), 1u);
+  EXPECT_EQ(report.rejected[0].first.id, 1u);
+  const std::string json = service_report_json(report);
+  EXPECT_NE(json.find("\"rejected_count\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"policy\":\"fifo\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+  EXPECT_NE(json.find("exceed admission limit"), std::string::npos);
+}
+
+TEST(ServiceObs, PerJobTraceCollects) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "observability compiled out";
+  ServiceConfig sc = tiny_service({2, 1}, SchedulePolicy::kFifo);
+  sc.cluster.observe = true;
+  SortService svc(sc);
+  const ServiceReport report = svc.run({small_job(0, 600)});
+  ASSERT_EQ(report.jobs.size(), 1u);
+  const obs::ClusterTrace trace = job_cluster_trace(report.jobs[0]);
+  EXPECT_EQ(trace.nodes.size(), 2u);
+  EXPECT_EQ(trace.makespan, report.jobs[0].finish_s);
+  const std::string json = obs::run_report_json(trace);
+  EXPECT_NE(json.find("\"rank\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"rank\":1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace paladin::service

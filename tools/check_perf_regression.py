@@ -4,6 +4,7 @@
 Usage:
   check_perf_regression.py NEW_JSON BASELINE_JSON [--threshold=0.20]
   check_perf_regression.py --splitters NEW_JSON BASELINE_JSON [--threshold=0.20]
+  check_perf_regression.py --service NEW_JSON BASELINE_JSON [--threshold=0.20]
 
 Default mode compares the merge rows (kernel name containing "merge") of a
 freshly generated bench_results/BENCH_hotpaths.json against the committed
@@ -14,6 +15,10 @@ threshold (default +20% ns/record).
 (strategy, p, dist): t_select_s drift beyond the threshold fails, and —
 since the virtual clock is deterministic — an expansion drift beyond 0.05
 is flagged as a logic change, not noise.
+
+--service compares bench_results/BENCH_service.json rows keyed by policy:
+a jobs_per_vsec drop or a p99_s rise beyond the threshold fails, and an
+all_ok=false row fails outright (verification is part of the contract).
 
 In both modes rows present on only one side are reported but never fail
 the gate (new rows appear, retired ones vanish), and older baselines
@@ -144,10 +149,69 @@ def check_splitters(new_path, base_path, threshold):
     return 0
 
 
+def load_service_rows(path):
+    rows = {}
+    for row in load_doc(path).get("rows", []):
+        rows[row["policy"]] = row
+    return rows
+
+
+def check_service(new_path, base_path, threshold):
+    new_rows = load_service_rows(new_path)
+    base_rows = load_service_rows(base_path)
+
+    failures = []
+    compared = 0
+    for policy, base in sorted(base_rows.items()):
+        new = new_rows.get(policy)
+        if new is None:
+            print(f"note: policy {policy} missing from new results; skipped")
+            continue
+        compared += 1
+        if not new.get("all_ok", False):
+            print(f"REGRESSION  {policy:<12} all_ok=false "
+                  f"(a job failed verification)")
+            failures.append(policy)
+        old_tp = base["jobs_per_vsec"]
+        new_tp = new["jobs_per_vsec"]
+        ratio = new_tp / old_tp if old_tp > 0 else float("inf")
+        status = "ok"
+        # Throughput gates downward (a drop is the regression).
+        if ratio < 1.0 - threshold:
+            status = "REGRESSION"
+            failures.append(policy)
+        print(f"{status:>10}  {policy:<12} throughput "
+              f"{old_tp:.6f} -> {new_tp:.6f} jobs/vsec ({ratio - 1.0:+.1%})")
+        old_p99 = base["p99_s"]
+        new_p99 = new["p99_s"]
+        ratio = new_p99 / old_p99 if old_p99 > 0 else float("inf")
+        status = "ok"
+        if ratio > 1.0 + threshold:
+            status = "REGRESSION"
+            failures.append(policy)
+        print(f"{status:>10}  {policy:<12} p99 latency "
+              f"{old_p99:.3f} -> {new_p99:.3f} s ({ratio - 1.0:+.1%})")
+
+    for policy in sorted(set(new_rows) - set(base_rows)):
+        print(f"note: new policy row {policy} has no baseline; skipped")
+
+    if compared == 0:
+        print("error: no service rows in common — wrong files?",
+              file=sys.stderr)
+        return 2
+    if failures:
+        print(f"\nFAIL: {len(set(failures))} service row(s) regressed more "
+              f"than {threshold:.0%} vs the committed baseline")
+        return 1
+    print(f"\nOK: {compared} service rows within {threshold:.0%} of baseline")
+    return 0
+
+
 def main(argv):
     args = [a for a in argv[1:] if not a.startswith("--")]
     threshold = 0.20
     splitters = "--splitters" in argv[1:]
+    service = "--service" in argv[1:]
     for a in argv[1:]:
         if a.startswith("--threshold="):
             threshold = float(a.split("=", 1)[1])
@@ -157,6 +221,8 @@ def main(argv):
 
     if splitters:
         return check_splitters(args[0], args[1], threshold)
+    if service:
+        return check_service(args[0], args[1], threshold)
     return check_merge(args[0], args[1], threshold)
 
 
