@@ -33,6 +33,7 @@
 #include "core/scatter_gather.h"
 #include "core/sort_driver.h"
 #include "core/verify.h"
+#include "hetero/drift.h"
 #include "hetero/perf_vector.h"
 #include "metrics/expansion.h"
 #include "metrics/table.h"
@@ -61,6 +62,8 @@ struct Options {
   std::string obs_out;
   std::string jobs;  // file or inline spec; non-empty = service mode
   service::SchedulePolicy policy = service::SchedulePolicy::kFifo;
+  hetero::DriftPlan drift;  // --drift; inactive by default
+  bool adaptive = false;    // --adaptive
 
   static void usage() {
     std::cout
@@ -84,7 +87,13 @@ struct Options {
            "                 keys: n dist algo width arrival priority "
            "seed bytes id)\n"
            "             [--policy NAME]  (--jobs policy; one of: "
-        << service::policy_names() << ")\n";
+        << service::policy_names()
+        << ")\n"
+           "             [--drift SPEC]  (seeded speed drift, e.g.\n"
+           "                 seed=7,epoch=0.5,prob=0.25,factor=4,regime=2"
+           "[,force=rank:from:until:factor])\n"
+           "             [--adaptive]  (re-estimate node speeds mid-run "
+           "and re-split partitions)\n";
   }
 
   static Options parse(int argc, char** argv) {
@@ -147,6 +156,17 @@ struct Options {
         opt.obs_out = need_value(i);
       } else if (arg == "--jobs") {
         opt.jobs = need_value(i);
+      } else if (arg == "--drift") {
+        const std::string spec = need_value(i);
+        try {
+          opt.drift = hetero::parse_drift_plan(spec);
+        } catch (const std::exception& e) {
+          std::cerr << "bad --drift spec '" << spec << "' (" << e.what()
+                    << ")\n";
+          std::exit(2);
+        }
+      } else if (arg == "--adaptive") {
+        opt.adaptive = true;
       } else if (arg == "--policy") {
         const std::string name = need_value(i);
         const auto policy = service::try_parse_policy(name);
@@ -304,6 +324,7 @@ int run_service(const Options& opt, const net::ClusterConfig& config) {
   sc.cluster = config;
   sc.policy = opt.policy;
   sc.sort.splitter.strategy = opt.splitter;
+  sc.sort.adaptive.enabled = opt.adaptive;
   sc.sort.sequential.memory_records = opt.memory_records;
   sc.sort.sequential.allow_in_memory = false;
   sc.sort.message_records = opt.message_records;
@@ -382,6 +403,12 @@ int main(int argc, char** argv) {
     return 2;
   }
   config.observe = !opt.obs_out.empty();
+  config.drift_plan = opt.drift;
+  if (config.drift_plan.active()) {
+    std::cout << "speed drift: " << hetero::drift_plan_to_string(opt.drift)
+              << (opt.adaptive ? " (adaptive repartitioning on)" : "")
+              << "\n";
+  }
 
   if (!opt.jobs.empty()) {
     return run_service(opt, config);
@@ -411,6 +438,7 @@ int main(int argc, char** argv) {
   core::ParallelSortConfig psc;
   psc.algorithm = opt.algorithm;
   psc.splitter.strategy = opt.splitter;
+  psc.adaptive.enabled = opt.adaptive;
   psc.sequential.memory_records = opt.memory_records;
   psc.sequential.allow_in_memory = false;
   psc.message_records = opt.message_records;

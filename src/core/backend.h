@@ -22,6 +22,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <span>
 #include <string>
 #include <vector>
@@ -31,6 +32,7 @@
 #include "base/types.h"
 #include "core/scatter_gather.h"
 #include "core/splitter_tree.h"
+#include "hetero/drift.h"
 #include "hetero/perf_vector.h"
 #include "net/cluster.h"
 #include "obs/trace.h"
@@ -62,6 +64,12 @@ struct BackendConfig {
   /// backends.  The default auto heuristic keeps the paper-scale runs on
   /// the exact flat path.
   SplitterConfig splitter;
+  /// Adaptive repartitioning under speed drift (hetero/drift.h): when
+  /// enabled, every backend re-estimates effective node speeds right
+  /// before its splitter/schedule decision and re-splits the partition
+  /// targets with the blended weights.  Off (the default) leaves the
+  /// static perf-proportional path untouched, verbatim.
+  hetero::AdaptiveConfig adaptive;
 };
 
 /// How a backend lays out its result across the cluster.
@@ -138,6 +146,90 @@ class PhaseTimer {
   u64 io0_;
 };
 
+/// Outcome of one adaptive speed re-estimation (hetero::AdaptiveConfig).
+/// `weights` is the blended per-node partition share (normalized to sum 1)
+/// on every node when `applied`, empty when adaptation was declined — the
+/// caller then runs its static perf-proportional path verbatim.
+struct AdaptiveOutcome {
+  bool applied = false;
+  std::vector<double> weights;
+  double local_speed = 0.0;  ///< this node's measured effective speed
+};
+
+/// Collective speed re-estimation — every node must call it at the same
+/// point of the algorithm.  Each node runs a probe: it charges
+/// `probe_compares` compares through its (possibly drifting) meter and
+/// reads the virtual time billed; known-work / observed-duration *is* the
+/// node's current effective speed, recorded as an `adapt.probe` span.  The
+/// root gathers the measurements, blends the observed speed shares with
+/// the static perf shares, applies the deadband, and broadcasts either the
+/// normalized weights or an empty vector (declined).  Deterministic: the
+/// probe reads only virtual clocks, so the outcome is a pure function of
+/// (seed, plan, config).
+inline AdaptiveOutcome adaptive_reestimate(const BackendContext& bc,
+                                           const hetero::AdaptiveConfig& cfg,
+                                           u64 phase_records, u32 root) {
+  AdaptiveOutcome out;
+  net::NodeContext& ctx = bc.node();
+  const hetero::PerfVector& perf = bc.perf();
+  obs::Tracer* const tr = bc.obs();
+  const double t0 = ctx.clock().now();
+  ctx.on_compares(cfg.probe_compares);
+  const double dt = ctx.clock().now() - t0;
+  const double per_compare = ctx.config().cost.per_compare_seconds;
+  out.local_speed =
+      dt > 0.0 ? static_cast<double>(cfg.probe_compares) * per_compare / dt
+               : ctx.speed();
+  if (tr) {
+    const obs::Tracer::SpanId probe = tr->open_at("adapt.probe", "drift", t0);
+    tr->arg(probe, "phase_records", phase_records);
+    tr->arg(probe, "speed_x1000",
+            static_cast<u64>(out.local_speed * 1000.0));
+    tr->close(probe);
+  }
+
+  net::Communicator& comm = ctx.comm();
+  std::vector<double> speeds = comm.gather_records<double>(
+      std::span<const double>(&out.local_speed, 1), root);
+  std::vector<double> weights;
+  if (bc.rank() == root) {
+    const u32 p = perf.node_count();
+    double speed_sum = 0.0;
+    for (double s : speeds) speed_sum += s;
+    const double perf_sum = static_cast<double>(perf.sum());
+    weights.resize(p);
+    double blended_sum = 0.0;
+    for (u32 i = 0; i < p; ++i) {
+      const double stat = static_cast<double>(perf[i]) / perf_sum;
+      const double observed = speed_sum > 0.0 ? speeds[i] / speed_sum : stat;
+      weights[i] = (1.0 - cfg.blend) * stat + cfg.blend * observed;
+      blended_sum += weights[i];
+    }
+    double max_rel = 0.0;
+    for (u32 i = 0; i < p; ++i) {
+      weights[i] /= blended_sum;
+      const double stat = static_cast<double>(perf[i]) / perf_sum;
+      max_rel = std::max(max_rel, std::abs(weights[i] - stat) / stat);
+    }
+    // Deadband: measurement within noise of the static shares — decline,
+    // so drift-free adaptive runs keep the exact static partition.
+    if (max_rel < cfg.min_relative_change) weights.clear();
+  }
+  weights = comm.bcast_records<double>(std::move(weights), root);
+  out.applied = !weights.empty();
+  out.weights = std::move(weights);
+  if (tr) {
+    // Deterministic per (seed, plan, config): safe to fold into the trace.
+    tr->counters().set("drift.adapt.applied", out.applied ? 1 : 0);
+    if (out.applied) {
+      tr->counters().set(
+          "drift.adapt.weight_ppm",
+          static_cast<u64>(out.weights[bc.rank()] * 1e6));
+    }
+  }
+  return out;
+}
+
 /// Draws `want` records of `file` at uniformly random positions (sampling
 /// with replacement, one seek per sample) — the probabilistic-splitting
 /// sample of DeWitt et al. and the oversampling step of Rahn–Sanders–
@@ -174,13 +266,23 @@ std::vector<T> draw_random_sample(net::NodeContext& ctx,
 /// the input cannot collapse several splitters onto one key, which would
 /// funnel the whole duplicate class — and the partitions pinched between
 /// the equal splitters — onto a single node.
+///
+/// `weights`, when non-null, overrides `perf` with adaptive per-node
+/// shares (normalized doubles from adaptive_reestimate): cut j lands at
+/// rank ⌊S·Σ_{t≤j} w_t⌋ of the sorted sample.  Weighted selection always
+/// takes the flat path — the sample tree's bounded digests reduce
+/// integer perf masses, so tree+adaptive falls back to flat (documented
+/// in docs/ALGORITHM.md).
 template <Record T, typename Less = std::less<T>>
 std::vector<T> select_sample_splitters(const BackendContext& bc,
                                        std::vector<T> local_sample, u64 cuts,
                                        const hetero::PerfVector* perf,
                                        bool unique_splitters = false,
-                                       u32 root = 0, Less less = {}) {
-  if (cuts > 0 && splitter_uses_tree(bc.common().splitter, bc.p())) {
+                                       u32 root = 0, Less less = {},
+                                       const std::vector<double>* weights =
+                                           nullptr) {
+  if (weights == nullptr && cuts > 0 &&
+      splitter_uses_tree(bc.common().splitter, bc.p())) {
     return tree_select_sample_splitters<T, Less>(
         bc.node(), bc.common().splitter, std::move(local_sample), cuts, perf,
         unique_splitters, root, less);
@@ -202,7 +304,17 @@ std::vector<T> select_sample_splitters(const BackendContext& bc,
           gathered.end());
     }
     splitters.reserve(cuts);
-    if (perf != nullptr) {
+    if (weights != nullptr) {
+      PALADIN_EXPECTS(cuts + 1 == weights->size());
+      double cum = 0.0;
+      for (u64 j = 0; j + 1 < weights->size(); ++j) {
+        cum += (*weights)[j];
+        const u64 idx = std::min<u64>(
+            static_cast<u64>(static_cast<double>(gathered.size()) * cum),
+            gathered.size() - 1);
+        splitters.push_back(gathered[idx]);
+      }
+    } else if (perf != nullptr) {
       PALADIN_EXPECTS(cuts + 1 == perf->node_count());
       u64 cum = 0;
       for (u32 j = 0; j + 1 < perf->node_count(); ++j) {

@@ -63,6 +63,18 @@ ExtDistributionReport ext_distribution_sort(
   ExtDistributionReport report;
   report.local_records = ctx.disk().file_records<T>(config.input);
 
+  // ---- Adaptive re-estimation (hetero/drift.h) ------------------------
+  // Before the splitter decision: probe effective speeds and, if they
+  // moved beyond the deadband, cut the splitters at the blended-weight
+  // quantiles so the bucket a slowed node sorts in step 4 shrinks.
+  std::vector<double> adapt_weights;
+  if (config.adaptive.enabled && p > 1) {
+    obs::ScopedSpan span(bc.obs(), "dist.adapt", "drift");
+    const AdaptiveOutcome ad =
+        adaptive_reestimate(bc, config.adaptive, report.local_records, 0);
+    if (ad.applied) adapt_weights = ad.weights;
+  }
+
   // ---- 1. Probabilistic splitting -------------------------------------
   const u64 want = std::min<u64>(
       report.local_records,
@@ -72,7 +84,8 @@ ExtDistributionReport ext_distribution_sort(
   // gather-and-sort at node 0.
   std::vector<T> pivots = select_sample_splitters<T, Less>(
       bc, draw_random_sample<T>(ctx, config.input, want), p - 1, &perf,
-      /*unique_splitters=*/false, /*root=*/0, less);
+      /*unique_splitters=*/false, /*root=*/0, less,
+      adapt_weights.empty() ? nullptr : &adapt_weights);
 
   // ---- 2. Stream + route into p bucket files --------------------------
   const std::string part_prefix = config.output + ".dist";

@@ -207,6 +207,19 @@ ExtMultiwayReport ext_multiway_sort(net::NodeContext& ctx,
     return report;
   }
 
+  // ---- Adaptive re-estimation (hetero/drift.h) ------------------------
+  // Phase 1 (run formation) is the backend's big up-front local phase;
+  // probe effective speeds after it and re-split the exchange targets
+  // with the blended weights if they moved beyond the deadband.
+  std::vector<double> adapt_weights;
+  if (config.adaptive.enabled) {
+    obs::ScopedSpan span(tr, "multiway.adapt", "drift");
+    const AdaptiveOutcome ad =
+        adaptive_reestimate(bc, config.adaptive, report.local_records,
+                            config.designated_node);
+    if (ad.applied) adapt_weights = ad.weights;
+  }
+
   // ---- Phase 2: oversampled random splitters --------------------------
   std::vector<T> splitters;
   {
@@ -220,7 +233,8 @@ ExtMultiwayReport ext_multiway_sort(net::NodeContext& ctx,
     report.samples_contributed = sample.size();
     splitters = select_sample_splitters<T, Less>(
         bc, std::move(sample), p - 1, &perf, config.unique_splitters,
-        config.designated_node, less);
+        config.designated_node, less,
+        adapt_weights.empty() ? nullptr : &adapt_weights);
     span.end();
     report.t_splitters = phase.seconds();
     report.io_splitters = phase.ios();

@@ -103,7 +103,22 @@ ExtOverpartitionReport ext_overpartition_sort(
     global_sizes =
         comm.template bcast_records<u64>(std::move(global_sizes), 0);
   }
-  const std::vector<u32> owner = detail::assign_sublists(global_sizes, perf);
+  // Adaptive re-estimation (hetero/drift.h): overpartitioning's whole
+  // design point is that perf only enters at assignment time — so the
+  // adaptive hook simply swaps the LPT capacity weights for the blended
+  // measured shares right before the schedule is fixed.
+  std::vector<double> adapt_weights;
+  if (config.adaptive.enabled && p > 1) {
+    obs::ScopedSpan span(bc.obs(), "overpart.adapt", "drift");
+    const AdaptiveOutcome ad =
+        adaptive_reestimate(bc, config.adaptive, report.local_records, 0);
+    if (ad.applied) adapt_weights = ad.weights;
+  }
+  const std::vector<u32> owner =
+      adapt_weights.empty()
+          ? detail::assign_sublists(global_sizes, perf)
+          : detail::assign_sublists(
+                global_sizes, std::span<const double>(adapt_weights));
 
   // ---- 4. Ship bucket files to their owners ----------------------------
   // Send: for each bucket not owned by me, stream my local piece to the

@@ -18,6 +18,7 @@
 // measured sublist expansion.
 #pragma once
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -54,6 +55,12 @@ struct ExtPsrsOptions {
   /// Per-destination credit window in pipelined mode and in the phased
   /// exchange: at most this many un-acknowledged chunks in flight.
   u64 flow_window_chunks = kDefaultFlowWindow;
+  /// Phased Step 3 via partition_sorted_file_seek: binary-search each
+  /// buffered chunk's cut position (Θ((l/B)·p·log B) comparisons) instead
+  /// of comparing every record (Θ(l)), same single streaming pass.
+  /// Identical partition contents; off by default so the paper's
+  /// record-at-a-time comparison bill stays the modelled cost.
+  bool partition_boundary_seek = false;
 };
 
 struct ExtPsrsConfig : BackendConfig, ExtPsrsOptions {};
@@ -152,13 +159,29 @@ ExtPsrsReport ext_psrs_sort(net::NodeContext& ctx,
     tr->snapshot("step1.seq_sort");
   }
 
+  // ---- Adaptive re-estimation (hetero/drift.h) ------------------------
+  // Between Step 1 and the pivot decision: measure each node's *current*
+  // effective speed with a probe span and, if the blended weights moved
+  // beyond the deadband, cut Step 2's pivots at the weight quantiles
+  // instead of the static perf quantiles — records the static split would
+  // have left on a slowed node land on its faster peers before the
+  // steps 3–5 exchange ever ships a byte.
+  std::vector<double> adapt_weights;
+  if (config.adaptive.enabled) {
+    obs::ScopedSpan span(tr, "psrs.adapt", "drift");
+    const BackendContext bc(ctx, perf, config);
+    const AdaptiveOutcome ad = adaptive_reestimate(
+        bc, config.adaptive, report.local_records, config.designated_node);
+    if (ad.applied) adapt_weights = ad.weights;
+  }
+
   // ---- Step 2: regular sampling & pivot selection ---------------------
   const double t1 = ctx.clock().now();
   const u64 io1 = ctx.disk().stats().total_block_ios();
   std::vector<T> pivots;
   {
     obs::ScopedSpan span(tr, "psrs.step2.sampling", "psrs");
-    if (splitter_uses_tree(config.splitter, p)) {
+    if (adapt_weights.empty() && splitter_uses_tree(config.splitter, p)) {
       // Multi-level path (core/splitter_tree.h): densified leaf sample,
       // group-tree digest reduction, flat pivot formulas at the root.
       const u64 o_total =
@@ -175,22 +198,45 @@ ExtPsrsReport ext_psrs_sort(net::NodeContext& ctx,
                                            o_total, config.splitter,
                                            config.designated_node, less);
     } else {
-      const u64 off = perf.sample_stride(n, config.sampling_oversample);
+      // Once weights apply, densify the regular sample: the oversample-1
+      // sample only offers cut points at the static perf quantiles, which
+      // quantises a weighted cut like 1/13 back to ~1/p and leaves the
+      // re-split a no-op (hetero::AdaptiveConfig::resample_oversample).
+      u64 oversample = config.sampling_oversample;
+      if (!adapt_weights.empty()) {
+        const u64 cap =
+            std::max<u64>(n / (perf.sum() * static_cast<u64>(p)), 1);
+        oversample = std::min(
+            std::max(oversample, config.adaptive.resample_oversample),
+            std::max(cap, oversample));
+      }
+      const u64 off = perf.sample_stride(n, oversample);
       std::vector<T> samples;
       {
         pdm::BlockFile f = ctx.disk().open(sorted_local);
         pdm::BlockReader<T> reader(f);
-        samples = draw_regular_sample<T>(reader, off);
+        // The densified draw streams the file once instead of seeking per
+        // sample; the static draw keeps the paper's seek pattern exactly.
+        samples = adapt_weights.empty()
+                      ? draw_regular_sample<T>(reader, off)
+                      : draw_regular_sample_streamed<T>(reader, off);
       }
       PALADIN_ASSERT(samples.size() ==
-                     perf.sample_count(rank, n, config.sampling_oversample));
+                     perf.sample_count(rank, n, oversample));
       report.samples_contributed = samples.size();
 
       std::vector<T> gathered = comm.template gather_records<T>(
           std::span<const T>(samples), config.designated_node);
       if (rank == config.designated_node) {
-        pivots = select_pivots<T, Less>(gathered, perf, ctx, less,
-                                        config.sampling_oversample);
+        // Adaptive weights replace the static perf quantiles; the tree
+        // path is bypassed under adaptation (its digests reduce integer
+        // perf masses only — see docs/ALGORITHM.md §Adaptive re-split).
+        pivots = adapt_weights.empty()
+                     ? select_pivots<T, Less>(gathered, perf, ctx, less,
+                                              config.sampling_oversample)
+                     : select_weighted_pivots<T, Less>(gathered,
+                                                       adapt_weights, ctx,
+                                                       less);
       }
       pivots = comm.template bcast_records<T>(std::move(pivots),
                                               config.designated_node);
@@ -249,8 +295,15 @@ ExtPsrsReport ext_psrs_sort(net::NodeContext& ctx,
   const std::string part_prefix = config.output + ".step3";
   {
     obs::ScopedSpan span(tr, "psrs.step3.partition", "psrs");
-    partition_sorted_file<T, Less>(ctx.disk(), sorted_local, part_prefix,
-                                   std::span<const T>(pivots), ctx, less);
+    if (config.partition_boundary_seek) {
+      partition_sorted_file_seek<T, Less>(ctx.disk(), sorted_local,
+                                          part_prefix,
+                                          std::span<const T>(pivots), ctx,
+                                          less);
+    } else {
+      partition_sorted_file<T, Less>(ctx.disk(), sorted_local, part_prefix,
+                                     std::span<const T>(pivots), ctx, less);
+    }
     if (!config.keep_intermediates) ctx.disk().remove(sorted_local);
     span.end();
     report.t_partition = ctx.clock().now() - t2;
@@ -304,10 +357,25 @@ ExtPsrsReport ext_psrs_sort(net::NodeContext& ctx,
       run_files.push_back(j == rank ? partition_name(part_prefix, rank)
                                     : received_name(recv_prefix, j));
     }
-    report.final_records = merge_sorted_files<T, Less>(
-        ctx.disk(), run_files, config.output,
-        config.sequential.memory_records, ctx, less,
-        config.sequential.merge);
+    // Adaptive absorb: the re-split often leaves this node a slice that
+    // fits the sequential memory budget outright — merge the runs in one
+    // buffered pass instead of the concatenate + multi-pass external
+    // merge.  Gated on weights having applied, so static and drift-free
+    // runs keep the external merge's exact cost funnel.
+    u64 slice_records = 0;
+    for (const std::string& f : run_files) {
+      slice_records += ctx.disk().file_records<T>(f);
+    }
+    if (!adapt_weights.empty() &&
+        slice_records <= config.sequential.memory_records) {
+      report.final_records = merge_sorted_files_in_memory<T, Less>(
+          ctx.disk(), run_files, config.output, ctx, less);
+    } else {
+      report.final_records = merge_sorted_files<T, Less>(
+          ctx.disk(), run_files, config.output,
+          config.sequential.memory_records, ctx, less,
+          config.sequential.merge);
+    }
     if (!config.keep_intermediates) {
       for (const std::string& f : run_files) ctx.disk().remove(f);
     }

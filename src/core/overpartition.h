@@ -15,6 +15,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <span>
 #include <vector>
 
 #include "base/contracts.h"
@@ -45,28 +46,40 @@ struct OverpartitionReport {
 
 namespace detail {
 
-/// Greedy LPT assignment of sublist sizes to p processors with capacity
-/// weights perf[i]: biggest sublist first, to the processor with the least
+/// Greedy LPT assignment of sublist sizes to p processors with arbitrary
+/// positive capacity weights (static perf factors or adaptive blended
+/// shares): biggest sublist first, to the processor with the least
 /// weighted load.  Returns sublist → processor.
 inline std::vector<u32> assign_sublists(const std::vector<u64>& sizes,
-                                        const hetero::PerfVector& perf) {
+                                        std::span<const double> weights) {
   std::vector<std::size_t> order(sizes.size());
   std::iota(order.begin(), order.end(), 0u);
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
     if (sizes[a] != sizes[b]) return sizes[a] > sizes[b];
     return a < b;
   });
-  std::vector<double> load(perf.node_count(), 0.0);
+  std::vector<double> load(weights.size(), 0.0);
   std::vector<u32> owner(sizes.size(), 0);
   for (std::size_t idx : order) {
     u32 best = 0;
-    for (u32 i = 1; i < perf.node_count(); ++i) {
+    for (u32 i = 1; i < weights.size(); ++i) {
       if (load[i] < load[best]) best = i;
     }
     owner[idx] = best;
-    load[best] += static_cast<double>(sizes[idx]) / perf[best];
+    load[best] += static_cast<double>(sizes[idx]) / weights[best];
   }
   return owner;
+}
+
+/// Static-perf overload: delegates with weights[i] = perf[i] (the exact
+/// double the original arithmetic divided by, so schedules are unchanged).
+inline std::vector<u32> assign_sublists(const std::vector<u64>& sizes,
+                                        const hetero::PerfVector& perf) {
+  std::vector<double> weights(perf.node_count());
+  for (u32 i = 0; i < perf.node_count(); ++i) {
+    weights[i] = static_cast<double>(perf[i]);
+  }
+  return assign_sublists(sizes, std::span<const double>(weights));
 }
 
 }  // namespace detail

@@ -61,25 +61,34 @@ struct PipelineOutcome {
 };
 
 /// Meter pricing compares/moves/seconds like NodeContext but onto an
-/// explicit stream clock instead of the node clock.
+/// explicit stream clock instead of the node clock.  Under an active
+/// drift plan the divisor is the node's effective speed at the stream's
+/// current instant; otherwise it is the cached static factor — the exact
+/// pre-drift arithmetic.
 class StreamMeter final : public Meter {
  public:
   StreamMeter(net::VirtualClock& clock, const net::CostModel& cost,
-              double speed)
-      : clock_(&clock), cost_(&cost), speed_(speed) {}
+              const net::NodeContext& node)
+      : clock_(&clock), cost_(&cost), node_(&node), speed_(node.speed()) {}
 
   void on_compares(u64 n) override {
     clock_->advance(static_cast<double>(n) * cost_->per_compare_seconds /
-                    speed_);
+                    speed_now());
   }
   void on_moves(u64 n) override {
-    clock_->advance(static_cast<double>(n) * cost_->per_move_seconds / speed_);
+    clock_->advance(static_cast<double>(n) * cost_->per_move_seconds /
+                    speed_now());
   }
-  void on_seconds(double s) override { clock_->advance(s / speed_); }
+  void on_seconds(double s) override { clock_->advance(s / speed_now()); }
 
  private:
+  double speed_now() const {
+    return node_->drift() != nullptr ? node_->speed_at(clock_->now()) : speed_;
+  }
+
   net::VirtualClock* clock_;
   const net::CostModel* cost_;
+  const net::NodeContext* node_;
   double speed_;
 };
 
@@ -112,17 +121,25 @@ PipelineOutcome pipelined_exchange_merge(net::NodeContext& ctx,
 
   // Disk charges route to whichever stream is executing: pump_send flips
   // `active` to the send clock around the sorted-file reads; everything
-  // else (the merge's output writes) lands on the merge clock.  The
-  // original sink has no getter, so restore by reconstructing the exact
-  // lambda NodeContext installs.
-  const double divisor =
-      ctx.config().cost.scale_disk_with_speed ? ctx.speed() : 1.0;
+  // else (the merge's output writes) lands on the merge clock.  Restored
+  // via NodeContext::install_disk_cost_sink() at the end.  Under drift the
+  // divisor is the effective speed at the active stream's instant;
+  // otherwise the original value-captured divisor (bit-identical path).
   net::VirtualClock* active = &merge_clock;
-  ctx.disk().set_cost_sink(
-      [&active, divisor](double s) { active->advance(s / divisor); });
+  if (ctx.drift() != nullptr) {
+    const bool scale = ctx.config().cost.scale_disk_with_speed;
+    ctx.disk().set_cost_sink([&active, &ctx, scale](double s) {
+      active->advance(s / (scale ? ctx.speed_at(active->now()) : 1.0));
+    });
+  } else {
+    const double divisor =
+        ctx.config().cost.scale_disk_with_speed ? ctx.speed() : 1.0;
+    ctx.disk().set_cost_sink(
+        [&active, divisor](double s) { active->advance(s / divisor); });
+  }
 
-  StreamMeter send_meter(send_clock, ctx.config().cost, ctx.speed());
-  StreamMeter merge_meter(merge_clock, ctx.config().cost, ctx.speed());
+  StreamMeter send_meter(send_clock, ctx.config().cost, ctx);
+  StreamMeter merge_meter(merge_clock, ctx.config().cost, ctx);
 
   // One span per stream, on its own track, stamped from its own clock.
   // Everything recorded below is a deterministic function of the stream
@@ -269,8 +286,7 @@ PipelineOutcome pipelined_exchange_merge(net::NodeContext& ctx,
   // Restore the node-clock sink NodeContext installed, then fold both
   // streams into the node clock: the node is done when its slower stream
   // is.
-  ctx.disk().set_cost_sink(
-      [&ctx, divisor](double s) { ctx.clock().advance(s / divisor); });
+  ctx.install_disk_cost_sink();
   out.send_finish = send_clock.now();
   out.merge_finish = merge_clock.now();
   if (tr) {

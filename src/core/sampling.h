@@ -53,6 +53,30 @@ std::vector<T> draw_regular_sample(pdm::BlockReader<T>& sorted, u64 off) {
   return samples;
 }
 
+/// Streaming variant for densified draws (hetero::AdaptiveConfig::
+/// resample_oversample): the seek-per-sample loop above re-reads a block
+/// for every pick, which at sub-block strides touches each block many
+/// times — on a freshly slowed node that I/O storm can cost more than the
+/// re-split saves.  One sequential pass keeps the same sample positions
+/// (off−1, 2·off−1, …, capped at size−off−1) for at most ⌈l/B⌉ block
+/// reads.  The adaptive path is the only caller, so the paper-exact
+/// static path keeps its I/O pattern bit-for-bit.
+template <Record T>
+std::vector<T> draw_regular_sample_streamed(pdm::BlockReader<T>& sorted,
+                                            u64 off) {
+  if (off == 0) off = 1;
+  const u64 size = sorted.size_records();
+  std::vector<T> samples;
+  if (size < off) return samples;
+  samples.reserve(size / off);
+  sorted.seek_record(0);
+  T v;
+  for (u64 i = 0; sorted.next(v); ++i) {
+    if ((i + 1) % off == 0 && i + off + 1 <= size) samples.push_back(v);
+  }
+  return samples;
+}
+
 /// In-memory variant for the in-core algorithm (same off == 0 fallback).
 template <Record T>
 std::vector<T> draw_regular_sample(std::span<const T> sorted, u64 off) {
@@ -112,6 +136,37 @@ std::vector<T> select_pivots(std::vector<T>& samples,
   pivots.reserve(p - 1);
   for (const u64 rank : psrs_pivot_targets(perf, oversample)) {
     const u64 index = std::min<u64>(rank - 1, samples.size() - 1);
+    pivots.push_back(samples[index]);
+  }
+  return pivots;
+}
+
+/// Adaptive variant (hetero::AdaptiveConfig): pivots cut the sorted sample
+/// at the *blended weight* quantiles instead of the static perf quantiles —
+/// pivot j at index ⌊S·(w_0+…+w_j)⌋ of the S gathered samples.  Because
+/// the global sample stride made every sample represent equal record mass,
+/// this targets a final partition proportional to w_j: records the static
+/// split would have left on a slowed node land on its faster peers
+/// (docs/ALGORITHM.md §Adaptive re-split).  `weights` must be normalized
+/// (sum 1) with one entry per node.
+template <Record T, typename Less = std::less<T>>
+std::vector<T> select_weighted_pivots(std::vector<T>& samples,
+                                      const std::vector<double>& weights,
+                                      Meter& meter, Less less = {}) {
+  const u64 p = weights.size();
+  PALADIN_EXPECTS(p >= 1);
+  PALADIN_EXPECTS_MSG(samples.size() >= p,
+                      "too few samples to select p-1 pivots");
+  seq::metered_sort(std::span<T>(samples), meter, less);
+
+  std::vector<T> pivots;
+  pivots.reserve(p - 1);
+  double cum = 0.0;
+  for (u64 j = 0; j + 1 < p; ++j) {
+    cum += weights[j];
+    const u64 index = std::min<u64>(
+        static_cast<u64>(static_cast<double>(samples.size()) * cum),
+        samples.size() - 1);
     pivots.push_back(samples[index]);
   }
   return pivots;

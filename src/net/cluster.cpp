@@ -37,12 +37,10 @@ NodeContext::NodeContext(const ClusterConfig& config, Fabric& fabric, u32 rank,
 }
 
 void NodeContext::init_node(const ClusterConfig& config, u32 rank) {
-  // Disk transfer time is charged to this node's clock, optionally scaled
-  // by the node speed (see CostModel::scale_disk_with_speed).
-  const double divisor =
-      config.cost.scale_disk_with_speed ? speed() : 1.0;
-  disk_.set_cost_sink(
-      [this, divisor](double seconds) { clock_.advance(seconds / divisor); });
+  if (hetero::kDriftCompiledIn && config.drift_plan.active()) {
+    drift_ = std::make_unique<hetero::DriftOracle>(config.drift_plan, rank);
+  }
+  install_disk_cost_sink();
   if (obs::kCompiledIn && config.observe) {
     tracer_ = std::make_unique<obs::Tracer>(this);
   }
@@ -57,6 +55,25 @@ void NodeContext::init_node(const ClusterConfig& config, u32 rank) {
       });
     }
   }
+}
+
+void NodeContext::install_disk_cost_sink() {
+  // Disk transfer time is charged to this node's clock, optionally scaled
+  // by the node speed (see CostModel::scale_disk_with_speed).
+  const bool scale = config_->cost.scale_disk_with_speed;
+  if (drift() != nullptr) {
+    // Under drift the divisor is the effective speed when the transfer
+    // happens, so disk time inflates inside degraded epochs.
+    disk_.set_cost_sink([this, scale](double seconds) {
+      clock_.advance(seconds / (scale ? speed_at(clock_.now()) : 1.0));
+    });
+    return;
+  }
+  // No drift: the original value-captured divisor, byte-for-byte the
+  // pre-drift sink (the empty-plan no-op contract in hetero/drift.h).
+  const double divisor = scale ? speed() : 1.0;
+  disk_.set_cost_sink(
+      [this, divisor](double seconds) { clock_.advance(seconds / divisor); });
 }
 
 void NodeContext::fold_counters_into_tracer() {
@@ -100,6 +117,29 @@ void NodeContext::fold_counters_into_tracer() {
     c.set("fault.net.frames_delayed", f.net_frames_delayed);
     c.set("fault.net.retransmits", f.net_retransmits);
     c.set("fault.net.dups_discarded", f.net_dups_discarded);
+  }
+  if (const hetero::DriftOracle* d = drift()) {
+    // Drift tallies (docs/ROBUSTNESS.md §Speed drift).  Registered only
+    // when a plan is active so empty-plan traces stay bit-identical to
+    // pre-drift builds.  All values are pure functions of
+    // (plan, rank, finish time), so they fold deterministically.
+    const u64 epochs = d->epoch_of(clock_.now()) + 1;
+    // Degraded-epoch scan capped so a pathological epoch_seconds cannot
+    // make the fold itself slow; the cap is far above any test/bench plan.
+    const u64 scanned = std::min<u64>(epochs, u64{1} << 16);
+    u64 degraded = 0;
+    double max_factor = 1.0;
+    for (u64 e = 0; e < scanned; ++e) {
+      const double f = d->factor_at_epoch(e);
+      if (f > 1.0) ++degraded;
+      max_factor = std::max(max_factor, f);
+    }
+    c.set("drift.epochs", epochs);
+    c.set("drift.epochs_degraded", degraded);
+    c.set("drift.max_factor_x1000",
+          static_cast<u64>(max_factor * 1000.0));
+    c.set("drift.final_factor_x1000",
+          static_cast<u64>(d->factor_at(clock_.now()) * 1000.0));
   }
 }
 

@@ -19,6 +19,7 @@
 #include "base/rng.h"
 #include "base/types.h"
 #include "fault/fault.h"
+#include "hetero/drift.h"
 #include "net/communicator.h"
 #include "net/cost_model.h"
 #include "net/network_model.h"
@@ -59,6 +60,14 @@ struct ClusterConfig {
   /// without the fault layer.  The plan is cluster-wide so every sender
   /// and receiver agree on whether message streams carry frame headers.
   fault::FaultPlan fault_plan;
+
+  /// Seeded speed-drift adversary (docs/ROBUSTNESS.md §Speed drift): the
+  /// node's effective speed is divided by a per-epoch factor that is a
+  /// pure hash of (seed, rank, epoch).  The default (inactive) plan is
+  /// provably a no-op: NodeContext::drift() stays nullptr and every cost
+  /// funnel keeps its original value-captured divisor, so makespans,
+  /// digests, IoStats and traces are bit-identical to a pre-drift build.
+  hetero::DriftPlan drift_plan;
 
   /// With observe, also record per-event fault instants (retries,
   /// retransmissions) into the trace.  Off by default: inside the fused
@@ -129,6 +138,29 @@ class NodeContext final : public Meter, public obs::TimeSource {
     return nullptr;
   }
 
+  /// The node's drift oracle, or nullptr when the drift plan is empty (or
+  /// the drift layer is compiled out with -DPALADIN_DRIFT_ENABLED=0).
+  const hetero::DriftOracle* drift() const {
+    if constexpr (hetero::kDriftCompiledIn) return drift_.get();
+    return nullptr;
+  }
+
+  /// Effective speed at virtual time `t`: the static perf factor divided
+  /// by the drift slowdown in force at `t`.  Without an active drift plan
+  /// this returns speed() through the identical expression, so the
+  /// no-drift cost arithmetic is bit-for-bit the pre-drift arithmetic.
+  double speed_at(double t) const {
+    if (const hetero::DriftOracle* d = drift()) {
+      return speed() / d->factor_at(t);
+    }
+    return speed();
+  }
+
+  /// (Re)installs the node-clock disk cost sink.  Called by the
+  /// constructor; also the restore hook for code (core/pipeline.h) that
+  /// temporarily reroutes disk charges to a stream clock.
+  void install_disk_cost_sink();
+
   /// Folds the node's scattered accounting (IoStats, CommStats, mailbox
   /// high-water marks, IoExecutor job totals, block geometry) into the
   /// tracer's counter registry under the names listed in
@@ -136,16 +168,20 @@ class NodeContext final : public Meter, public obs::TimeSource {
   /// returns; safe to call earlier for a mid-run snapshot (set semantics).
   void fold_counters_into_tracer();
 
-  // Meter: priced, speed-scaled charges.
+  // Meter: priced, speed-scaled charges.  The divisor is the *effective*
+  // speed at the moment the work happens; without drift, speed_at(t) is
+  // exactly speed() and this is the pre-drift arithmetic.
   void on_compares(u64 n) override {
     clock_.advance(static_cast<double>(n) * config_->cost.per_compare_seconds /
-                   speed());
+                   speed_at(clock_.now()));
   }
   void on_moves(u64 n) override {
     clock_.advance(static_cast<double>(n) * config_->cost.per_move_seconds /
-                   speed());
+                   speed_at(clock_.now()));
   }
-  void on_seconds(double s) override { clock_.advance(s / speed()); }
+  void on_seconds(double s) override {
+    clock_.advance(s / speed_at(clock_.now()));
+  }
 
  private:
   /// Shared tail of both constructors: disk cost sink, tracer and fault
@@ -160,6 +196,7 @@ class NodeContext final : public Meter, public obs::TimeSource {
   Xoshiro256 rng_;
   std::unique_ptr<obs::Tracer> tracer_;
   std::unique_ptr<fault::FaultInjector> fault_;
+  std::unique_ptr<hetero::DriftOracle> drift_;
 };
 
 /// Per-run outcome of one node.

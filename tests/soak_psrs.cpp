@@ -1,8 +1,9 @@
 // Property-based soak tier (ctest label `soak`, docs/ROBUSTNESS.md): a
 // seeded sweep over (cluster shape, perf vector, distribution, message
-// size, fault plan) cases running the pipelined external PSRS (and, on
-// ~25% of cases, the multiway backend; another ~25% force the multi-level
-// splitter tree with fanout 2) end to end.
+// size, fault plan, drift plan) cases running the pipelined external PSRS
+// (and, on ~25% of cases, the multiway backend; another ~25% force the
+// multi-level splitter tree with fanout 2; another ~25% run under a
+// seeded speed-drift plan) end to end.
 // Every case asserts the std::sort oracle on the concatenated output,
 // exact record conservation, and the recovery-matching invariants (every
 // injected transient fault paired with a retry / re-read / retransmit /
@@ -28,6 +29,7 @@
 #include "core/ext_psrs.h"
 #include "core/verify.h"
 #include "fault/fault.h"
+#include "hetero/drift.h"
 #include "hetero/perf_vector.h"
 #include "net/cluster.h"
 #include "pdm/typed_io.h"
@@ -65,6 +67,9 @@ struct SoakCase {
   /// so even p <= 4 builds a real multi-level hierarchy).
   bool tree_splitters = false;
   FaultPlan plan;
+  /// ~25% of cases additionally run under a seeded speed-drift plan
+  /// (hetero/drift.h) — drift and faults compose.
+  hetero::DriftPlan drift;
   std::string repro;
 };
 
@@ -112,6 +117,17 @@ SoakCase make_case(u64 index) {
   c.multiway = gen.next() % 4 == 0;
   // Drawn after the multiway flag, for the same reason.
   c.tree_splitters = gen.next() % 4 == 0;
+  // Drift draws come last of all (same append-only rule): ~25% of cases
+  // drift, with short epochs so several regime changes land mid-run.
+  if (gen.next() % 4 == 0) {
+    c.drift.seed = gen.next();
+    c.drift.spec.epoch_seconds =
+        0.01 + 0.04 * static_cast<double>(gen.next() % 8);
+    c.drift.spec.slow_prob =
+        0.2 + 0.3 * static_cast<double>(gen.next() >> 11) * 0x1.0p-53;
+    c.drift.spec.slow_factor = gen.next() % 2 == 0 ? 2.0 : 4.0;
+    c.drift.spec.regime_epochs = 1 + gen.next() % 8;
+  }
 
   std::ostringstream repro;
   repro << "PALADIN_SOAK_REPRO case=" << index << " p=" << p << " perf=[";
@@ -127,7 +143,10 @@ SoakCase make_case(u64 index) {
         << " dc=" << c.plan.disk.corrupt_prob
         << " nd=" << c.plan.net.drop_prob
         << " nu=" << c.plan.net.duplicate_prob
-        << " ny=" << c.plan.net.delay_prob << "}";
+        << " ny=" << c.plan.net.delay_prob << "}"
+        << " drift=" << (c.drift.active()
+                             ? hetero::drift_plan_to_string(c.drift)
+                             : std::string("none"));
   c.repro = repro.str();
   return c;
 }
@@ -150,6 +169,7 @@ SoakResult run_case(const SoakCase& c) {
   config.disk = test_params::tiny_blocks();
   config.seed = c.config_seed;
   config.fault_plan = c.plan;
+  config.drift_plan = c.drift;
   Cluster cluster(config);
 
   WorkloadSpec spec;

@@ -1,6 +1,7 @@
 // Service soak tier (ctest label `soak`): a seeded sweep of two-job
 // workloads through the sort service, over random cluster shapes, both
-// scheduling policies, mixed backends and occasional pathological jobs.
+// scheduling policies, mixed backends, occasional pathological jobs and
+// (on ~25% of cases) a seeded speed-drift plan over the whole horizon.
 // Every case asserts that all jobs verify (order + permutation, via the
 // service's own layout-aware check) and that arrival order is respected;
 // a slice of the cases re-runs the whole workload and pins the
@@ -18,6 +19,7 @@
 #include <vector>
 
 #include "base/rng.h"
+#include "hetero/drift.h"
 #include "service/service.h"
 #include "service/workload.h"
 #include "test_params.h"
@@ -38,6 +40,9 @@ struct SoakCase {
   std::vector<u32> perf;
   SchedulePolicy policy = SchedulePolicy::kFifo;
   OpenArrivalSpec workload;
+  /// ~25% of cases run the whole multi-job workload under a seeded
+  /// speed-drift plan (hetero/drift.h).
+  hetero::DriftPlan drift;
   std::string repro;
 };
 
@@ -67,6 +72,17 @@ SoakCase make_case(u64 index) {
     c.workload.pathological_every = 2;
     c.workload.pathological_records = 4000;
   }
+  // Appended after all pre-existing draws (append-only rule): ~25% of
+  // cases drift across the whole multi-job horizon.
+  if (gen.next() % 4 == 0) {
+    c.drift.seed = gen.next();
+    c.drift.spec.epoch_seconds =
+        0.05 + 0.2 * static_cast<double>(gen.next() % 8);
+    c.drift.spec.slow_prob =
+        0.2 + 0.3 * static_cast<double>(gen.next() >> 11) * 0x1.0p-53;
+    c.drift.spec.slow_factor = gen.next() % 2 == 0 ? 2.0 : 4.0;
+    c.drift.spec.regime_epochs = 1 + gen.next() % 8;
+  }
 
   std::ostringstream repro;
   repro << "PALADIN_SOAK_REPRO case=" << index << " p=" << p << " perf=[";
@@ -74,7 +90,10 @@ SoakCase make_case(u64 index) {
   repro << "] policy=" << to_string(c.policy)
         << " wlseed=" << c.workload.seed << " jobs=2 recs=["
         << c.workload.min_records << "," << c.workload.max_records
-        << "] patho=" << (c.workload.pathological_every != 0 ? 1 : 0);
+        << "] patho=" << (c.workload.pathological_every != 0 ? 1 : 0)
+        << " drift=" << (c.drift.active()
+                             ? hetero::drift_plan_to_string(c.drift)
+                             : std::string("none"));
   c.repro = repro.str();
   return c;
 }
@@ -86,6 +105,7 @@ ServiceReport run_case(const SoakCase& c) {
   // Workloads mix 4- and 100-byte records; blocks must hold whole records
   // of either width (4 Datamation records / 100 keys per block).
   sc.cluster.disk.block_bytes = 400;
+  sc.cluster.drift_plan = c.drift;
   sc.policy = c.policy;
   sc.seed = c.workload.seed ^ 0x5eedULL;
   sc.sort.sequential.memory_records = test_params::kMemoryRecords;

@@ -63,6 +63,25 @@ TEST(Sampling, FileAndMemoryVariantsAgree) {
   }
 }
 
+TEST(Sampling, StreamedDrawMatchesSeekDraw) {
+  // The adaptive path's single-pass draw must pick the exact sample
+  // positions of the paper's seek-per-sample loop — only the I/O pattern
+  // may differ (one sequential pass vs one seek+read per sample).
+  pdm::Disk disk = pdm::Disk::in_memory(tiny_blocks());
+  std::vector<u32> sorted(1000);
+  for (u32 i = 0; i < 1000; ++i) sorted[i] = 3 * i;
+  pdm::write_file<u32>(disk, "f", std::span<const u32>(sorted));
+  pdm::BlockFile f = disk.open("f");
+  pdm::BlockReader<u32> reader(f);
+  for (u64 off : {0ull, 1ull, 7ull, 50ull, 999ull, 1000ull, 2000ull}) {
+    reader.seek_record(0);
+    const auto seeked = draw_regular_sample<u32>(reader, off);
+    reader.seek_record(0);
+    EXPECT_EQ(draw_regular_sample_streamed<u32>(reader, off), seeked)
+        << "off=" << off;
+  }
+}
+
 TEST(Sampling, CountMatchesPerfFormula) {
   // Node with share l_i and stride off = l_i/(p·perf_i) contributes
   // p·perf_i − 1 samples.
@@ -174,6 +193,54 @@ TEST(PartitionFile, IoStaysWithinTwoQOverB) {
   EXPECT_LE(disk.stats().total_block_ios(), 2 * (4000 / rpb) + 4 + 1);
 }
 
+TEST(PartitionFile, SeekVariantMatchesScanBitForBit) {
+  // partition_boundary_seek's contract: identical partition files, sizes
+  // and streaming I/O; only the comparison bill changes (log-factor per
+  // chunk instead of one per staying record).
+  struct Case {
+    std::vector<u32> sorted;
+    std::vector<u32> pivots;
+  };
+  std::vector<Case> cases;
+  cases.push_back({{1, 2, 5, 5, 5, 7, 9, 12}, {5, 9}});   // ties at a pivot
+  cases.push_back({{1, 2}, {100, 200, 300}});             // empty tail parts
+  cases.push_back({{}, {10}});                            // empty input
+  {
+    Case big;  // multi-block input, duplicate plateau crossing blocks
+    for (u32 i = 0; i < 4000; ++i) big.sorted.push_back(i / 3);
+    big.pivots = {50, 333, 334, 1200};
+    cases.push_back(std::move(big));
+  }
+  for (std::size_t c = 0; c < cases.size(); ++c) {
+    SCOPED_TRACE("case " + std::to_string(c));
+    const auto& [sorted, pivots] = cases[c];
+    pdm::Disk disk = pdm::Disk::in_memory(tiny_blocks());
+    pdm::write_file<u32>(disk, "s", std::span<const u32>(sorted));
+
+    disk.reset_stats();
+    CountingMeter scan_meter;
+    const auto scan_sizes = partition_sorted_file<u32>(
+        disk, "s", "scan", std::span<const u32>(pivots), scan_meter);
+    const u64 scan_ios = disk.stats().total_block_ios();
+
+    disk.reset_stats();
+    CountingMeter seek_meter;
+    const auto seek_sizes = partition_sorted_file_seek<u32>(
+        disk, "s", "seek", std::span<const u32>(pivots), seek_meter);
+    const u64 seek_ios = disk.stats().total_block_ios();
+
+    EXPECT_EQ(seek_sizes, scan_sizes);
+    for (u32 j = 0; j <= pivots.size(); ++j) {
+      EXPECT_EQ(pdm::read_file<u32>(disk, partition_name("seek", j)),
+                pdm::read_file<u32>(disk, partition_name("scan", j)))
+          << "part " << j;
+    }
+    EXPECT_EQ(seek_ios, scan_ios);
+    EXPECT_EQ(seek_meter.moves, scan_meter.moves);
+    EXPECT_LE(seek_meter.compares, scan_meter.compares);
+  }
+}
+
 TEST(PartitionCuts, MatchUpperBounds) {
   std::vector<u32> sorted = {1, 2, 5, 5, 5, 7, 9, 12};
   std::vector<u32> pivots = {5, 9};
@@ -220,6 +287,42 @@ TEST(MergeFiles, FallsBackToMultiPassOnTinyMemory) {
                                              meter);
   EXPECT_EQ(merged, 400u);
   EXPECT_EQ(pdm::read_file<u32>(disk, "out"), expected);
+}
+
+TEST(MergeFiles, InMemoryAbsorbMatchesExternalMerge) {
+  // The adaptive absorb merge must produce the byte-identical output file
+  // of the external machinery at two block I/O passes (one read of the
+  // runs, one write of the output) — the whole point of absorbing a
+  // re-split slice that fits memory.
+  pdm::Disk disk = pdm::Disk::in_memory(tiny_blocks());
+  const u64 rpb = disk.params().records_per_block(sizeof(u32));
+  std::vector<std::string> names;
+  u64 total_blocks = 0;
+  for (u32 f = 0; f < 5; ++f) {  // odd fan-in exercises the carried run
+    std::vector<u32> data;
+    for (u32 i = 0; i < 40 + 11 * f; ++i) data.push_back(f + 5 * i);
+    names.push_back("r" + std::to_string(f));
+    pdm::write_file<u32>(disk, names.back(), std::span<const u32>(data));
+    total_blocks += (data.size() + rpb - 1) / rpb;
+  }
+  NullMeter meter;
+  const u64 external =
+      merge_sorted_files<u32>(disk, names, "ext.out", 1024, meter);
+
+  disk.reset_stats();
+  const u64 absorbed =
+      merge_sorted_files_in_memory<u32>(disk, names, "mem.out", meter);
+  // One read pass over the runs + one write pass of the output (partial
+  // tail blocks round each run up by at most one block).  Snapshot before
+  // the verification reads below touch the disk again.
+  const u64 blocks_read = disk.stats().blocks_read;
+  const u64 blocks_written = disk.stats().blocks_written;
+  EXPECT_EQ(absorbed, external);
+  EXPECT_EQ(pdm::read_file<u32>(disk, "mem.out"),
+            pdm::read_file<u32>(disk, "ext.out"));
+  EXPECT_LE(blocks_read, total_blocks);
+  const u64 out_blocks = (absorbed + rpb - 1) / rpb;
+  EXPECT_LE(blocks_written, out_blocks + 1);
 }
 
 TEST(MergeFiles, EmptyInputsProduceEmptyOutput) {

@@ -126,6 +126,57 @@ TEST(PerfVector, SampleCountsWithFlooredStride) {
   EXPECT_GE(total, 4u);  // always enough for pivot selection
 }
 
+TEST(PerfVector, SampleStrideClampedBoundaries) {
+  // p = 1: unit = Σperf·p·oversample = perf[0]·oversample; any n at or
+  // above it strides normally, anything below clamps to the densest
+  // regular sample (off = 1) instead of tripping a contract.
+  PerfVector solo({3});
+  EXPECT_EQ(solo.sample_stride_clamped(3), 1u);
+  EXPECT_EQ(solo.sample_stride_clamped(2), 1u);   // n < unit → clamp
+  EXPECT_EQ(solo.sample_stride_clamped(0), 1u);   // even n = 0 survives
+  EXPECT_EQ(solo.sample_stride_clamped(12), 4u);
+  EXPECT_EQ(solo.sample_stride_clamped(12, 4), 1u);  // oversample eats n
+
+  // All-equal perf: the clamped stride agrees with the classic PSRS
+  // stride n/p² whenever n is large enough, and clamps below it.
+  PerfVector equal({1, 1, 1, 1});
+  const u64 n = equal.admissible_size(64);  // 256
+  EXPECT_EQ(equal.sample_stride_clamped(n), equal.sample_stride(n));
+  EXPECT_EQ(equal.sample_stride_clamped(15), 1u);  // 15 < 16 = p·Σperf
+  EXPECT_EQ(equal.sample_stride_clamped(16), 1u);  // exactly the unit
+}
+
+TEST(PerfVector, AdmissibleSizeBoundaries) {
+  // p = 1: Equation 2 collapses to k·perf[0]² and every multiple of
+  // perf[0] is admissible.
+  PerfVector solo({5});
+  EXPECT_EQ(solo.admissible_size(1), 25u);
+  EXPECT_TRUE(solo.is_admissible(5));
+  EXPECT_FALSE(solo.is_admissible(7));
+  EXPECT_EQ(solo.round_up_admissible(1), 5u);
+
+  // All-equal perf: lcm = 1, so Equation 2 is just k·p.
+  PerfVector equal({1, 1, 1, 1});
+  EXPECT_EQ(equal.lcm(), 1u);
+  EXPECT_EQ(equal.admissible_size(1), 4u);
+  EXPECT_EQ(equal.admissible_size(96), 384u);
+  EXPECT_TRUE(equal.is_admissible(4));
+  EXPECT_FALSE(equal.is_admissible(2));
+
+  // k = 0 violates the Equation-2 contract (k ≥ 1).
+  EXPECT_THROW(equal.admissible_size(0), ContractViolation);
+}
+
+TEST(PerfVector, ZeroPerfEntryViolatesContract) {
+  // A zero entry would make Equation 2 divide by zero downstream; the
+  // constructor is the contract boundary and must reject it up front —
+  // wherever the zero sits.
+  EXPECT_THROW(PerfVector({0}), ContractViolation);
+  EXPECT_THROW(PerfVector({0, 1, 1}), ContractViolation);
+  EXPECT_THROW(PerfVector({1, 1, 0}), ContractViolation);
+  EXPECT_THROW(PerfVector(std::vector<u32>(16, 0)), ContractViolation);
+}
+
 TEST(PerfVector, HomogeneousSamplingMatchesClassicPsrs) {
   PerfVector perf({1, 1, 1, 1});
   // Classic PSRS: each node contributes p-1 samples at stride n/p².

@@ -15,6 +15,7 @@
 
 #include "core/ext_psrs.h"
 #include "core/sort_driver.h"
+#include "hetero/drift.h"
 #include "hetero/perf_vector.h"
 #include "net/cluster.h"
 #include "obs/export.h"
@@ -69,6 +70,61 @@ ClusterTrace golden_run() {
   return trace;
 }
 
+/// The same pinned run under a pinned drift plan: a forced 3× slowdown of
+/// rank 0 over epochs [2, 6) plus a seeded probabilistic spec.  Pins the
+/// drift.* counter block of the RunReport (paladin.run_report.v1 itself is
+/// unchanged — the drift-free fixtures above must never move when this
+/// one does).
+ClusterTrace golden_drift_run() {
+  const std::vector<u32> perf_values = {2, 1};
+  hetero::PerfVector perf(perf_values);
+  const u64 n = perf.admissible_size(20);
+
+  net::ClusterConfig config;
+  config.perf = perf_values;
+  config.disk = test_params::tiny_blocks();
+  config.seed = 1234;
+  config.observe = true;
+  config.drift_plan.seed = 77;
+  config.drift_plan.spec.epoch_seconds = 0.05;
+  config.drift_plan.spec.slow_prob = 0.5;
+  config.drift_plan.spec.slow_factor = 2.0;
+  config.drift_plan.spec.regime_epochs = 2;
+  hetero::ForcedSlowdown forced;
+  forced.rank = 0;
+  forced.from_epoch = 2;
+  forced.until_epoch = 6;
+  forced.factor = 3.0;
+  config.drift_plan.forced.push_back(forced);
+  net::Cluster cluster(config);
+
+  workload::WorkloadSpec spec;
+  spec.dist = workload::Dist::kUniform;
+  spec.total_records = n;
+  spec.node_count = perf.node_count();
+  spec.seed = 99;
+
+  auto outcome = cluster.run([&](net::NodeContext& ctx) -> int {
+    workload::write_share(spec, ctx.rank(), perf.share_offset(ctx.rank(), n),
+                          perf.share(ctx.rank(), n), ctx.disk(), "input");
+    core::ExtPsrsConfig psrs;
+    psrs.sequential.memory_records = test_params::kMemoryRecords;
+    psrs.sequential.tape_count = test_params::kTapeCount;
+    psrs.sequential.allow_in_memory = false;
+    psrs.message_records = test_params::kMessageRecords;
+    psrs.pipelined = true;
+    core::ext_psrs_sort<DefaultKey>(ctx, perf, psrs);
+    return 0;
+  });
+
+  ClusterTrace trace = core::collect_cluster_trace(outcome);
+  trace.set_meta("algorithm", "ext-psrs");
+  trace.set_meta("perf", "2,1");
+  trace.set_meta("drift", hetero::drift_plan_to_string(config.drift_plan));
+  trace.set_meta("fixture", "tests/golden/obs_drift");
+  return trace;
+}
+
 std::string read_file_or_empty(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return {};
@@ -120,6 +176,14 @@ TEST(ObsGolden, ChromeTraceMatchesFixtureByteExact) {
 TEST(ObsGolden, RunReportMatchesFixtureByteExact) {
   const ClusterTrace trace = golden_run();
   check_against_golden(run_report_json(trace), "obs_run.report.json");
+}
+
+TEST(ObsGolden, DriftRunReportMatchesFixtureByteExact) {
+  // The drifted fixture only exists where the drift layer does: the
+  // compiled-out CI job would otherwise produce the drift-free report.
+  if (!hetero::kDriftCompiledIn) GTEST_SKIP() << "drift layer compiled out";
+  const ClusterTrace trace = golden_drift_run();
+  check_against_golden(run_report_json(trace), "obs_drift.report.json");
 }
 
 TEST(ObsGolden, TwoCollectionsOfTheSameRunSerialiseIdentically) {

@@ -5,6 +5,7 @@ Usage:
   check_perf_regression.py NEW_JSON BASELINE_JSON [--threshold=0.20]
   check_perf_regression.py --splitters NEW_JSON BASELINE_JSON [--threshold=0.20]
   check_perf_regression.py --service NEW_JSON BASELINE_JSON [--threshold=0.20]
+  check_perf_regression.py --drift NEW_JSON BASELINE_JSON [--threshold=0.20]
 
 Default mode compares the merge rows (kernel name containing "merge") of a
 freshly generated bench_results/BENCH_hotpaths.json against the committed
@@ -20,7 +21,13 @@ is flagged as a logic change, not noise.
 a jobs_per_vsec drop or a p99_s rise beyond the threshold fails, and an
 all_ok=false row fails outright (verification is part of the contract).
 
-In both modes rows present on only one side are reported but never fail
+--drift compares bench_results/BENCH_drift.json: recovery_ok=false fails
+outright (the bench's own >= 2x recovery assertion did not hold), a
+recovery_factor drop beyond the threshold fails (the adaptive layer
+recovers a smaller share of the drift damage than it used to), and an
+adaptive-row makespan rise beyond the threshold fails.
+
+In all modes rows present on only one side are reported but never fail
 the gate (new rows appear, retired ones vanish), and older baselines
 missing optional fields are accepted.
 """
@@ -207,11 +214,75 @@ def check_service(new_path, base_path, threshold):
     return 0
 
 
+def check_drift(new_path, base_path, threshold):
+    new_doc = load_doc(new_path)
+    base_doc = load_doc(base_path)
+
+    failures = []
+    # The bench's own assertion is part of the contract: adaptive must
+    # recover >= 2x of the static damage, and every run must verify.
+    if not new_doc.get("recovery_ok", False):
+        print("REGRESSION  recovery_ok=false "
+              "(bench_drift's recovery assertion failed)")
+        failures.append("recovery_ok")
+
+    old_rf = base_doc.get("recovery_factor", 0.0)
+    new_rf = new_doc.get("recovery_factor", 0.0)
+    ratio = new_rf / old_rf if old_rf > 0 else float("inf")
+    status = "ok"
+    # The recovery gap gates downward: recovering a smaller share of the
+    # drift damage than the committed baseline is the regression.
+    if ratio < 1.0 - threshold:
+        status = "REGRESSION"
+        failures.append("recovery_factor")
+    print(f"{status:>10}  recovery factor "
+          f"{old_rf:.3f}x -> {new_rf:.3f}x ({ratio - 1.0:+.1%})")
+
+    new_rows = {row["mode"]: row for row in new_doc.get("rows", [])}
+    base_rows = {row["mode"]: row for row in base_doc.get("rows", [])}
+    compared = 0
+    for mode, base in sorted(base_rows.items()):
+        new = new_rows.get(mode)
+        if new is None:
+            print(f"note: mode {mode} missing from new results; skipped")
+            continue
+        compared += 1
+        if not new.get("ok", False):
+            print(f"REGRESSION  {mode:<10} ok=false "
+                  f"(the run failed verification)")
+            failures.append(mode)
+        # Only the adaptive makespan gates: baseline and static track the
+        # cost model, and static's whole point is to eat the damage.
+        if mode != "adaptive":
+            continue
+        old_mk = base["makespan_s"]
+        new_mk = new["makespan_s"]
+        ratio = new_mk / old_mk if old_mk > 0 else float("inf")
+        status = "ok"
+        if ratio > 1.0 + threshold:
+            status = "REGRESSION"
+            failures.append(mode)
+        print(f"{status:>10}  {mode:<10} makespan "
+              f"{old_mk:.3f} -> {new_mk:.3f} s ({ratio - 1.0:+.1%})")
+
+    if compared == 0:
+        print("error: no drift rows in common — wrong files?",
+              file=sys.stderr)
+        return 2
+    if failures:
+        print(f"\nFAIL: {len(set(failures))} drift check(s) regressed more "
+              f"than {threshold:.0%} vs the committed baseline")
+        return 1
+    print(f"\nOK: drift recovery within {threshold:.0%} of baseline")
+    return 0
+
+
 def main(argv):
     args = [a for a in argv[1:] if not a.startswith("--")]
     threshold = 0.20
     splitters = "--splitters" in argv[1:]
     service = "--service" in argv[1:]
+    drift = "--drift" in argv[1:]
     for a in argv[1:]:
         if a.startswith("--threshold="):
             threshold = float(a.split("=", 1)[1])
@@ -223,6 +294,8 @@ def main(argv):
         return check_splitters(args[0], args[1], threshold)
     if service:
         return check_service(args[0], args[1], threshold)
+    if drift:
+        return check_drift(args[0], args[1], threshold)
     return check_merge(args[0], args[1], threshold)
 
 
